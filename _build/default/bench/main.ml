@@ -1,0 +1,112 @@
+(* The benchmark harness.
+
+   Phase 1 regenerates every table and figure of the paper and prints
+   them in the paper's layout (this is the reproduction output that
+   EXPERIMENTS.md records).
+
+   Phase 2 runs one Bechamel benchmark per table/figure: each measures
+   the wall-clock cost of the kernel that regenerates that artifact (a
+   representative slice, with the measurement cache out of the way),
+   i.e. the simulator-plus-compiler throughput of this implementation. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Phase 1: regenerate the paper. --- *)
+
+let print_all () =
+  Fmt.pr "================================================================@.";
+  Fmt.pr "Reproduction: Steenkiste & Hennessy, \"Tags and Type Checking in@.";
+  Fmt.pr "LISP: Hardware and Software Approaches\" (ASPLOS 1987)@.";
+  Fmt.pr "================================================================@.@.";
+  Fmt.pr "%a@." Tagsim.Analysis.Table1.pp (Tagsim.Analysis.Table1.measure ());
+  Fmt.pr "%a@." Tagsim.Analysis.Figure1.pp
+    (Tagsim.Analysis.Figure1.measure ());
+  Fmt.pr "%a@." Tagsim.Analysis.Figure2.pp
+    (Tagsim.Analysis.Figure2.measure ());
+  Fmt.pr "%a@." Tagsim.Analysis.Table2.pp (Tagsim.Analysis.Table2.measure ());
+  Fmt.pr "%a@." Tagsim.Analysis.Table3.pp (Tagsim.Analysis.Table3.measure ());
+  Fmt.pr "%a@." Tagsim.Analysis.Garith.pp (Tagsim.Analysis.Garith.measure ());
+  Fmt.pr "@.%a@." Tagsim.Analysis.Ablations.pp
+    (Tagsim.Analysis.Ablations.measure ())
+
+(* --- Phase 2: Bechamel kernels. --- *)
+
+(* One uncached compile+simulate of a benchmark under a configuration:
+   the unit of work every experiment is built from. *)
+let simulate ?(scheme = Tagsim.Scheme.high5)
+    ?(support = Tagsim.Support.software) name =
+  let entry = Tagsim.Benchmarks.find name in
+  let program =
+    Tagsim.Program.compile ~scheme ~support
+      ~sizes:entry.Tagsim.Benchmarks.sizes entry.Tagsim.Benchmarks.source
+  in
+  let result = Tagsim.Program.run program in
+  assert (result.Tagsim.Program.abort = None)
+
+let chk = Tagsim.Support.with_checking Tagsim.Support.software
+
+(* Each test is the kernel of the corresponding experiment, on a
+   representative program (the full experiments iterate these kernels
+   over all ten programs and more configurations). *)
+let tests =
+  [
+    Test.make ~name:"table1-checking-delta-deduce"
+      (Staged.stage (fun () ->
+           simulate "deduce";
+           simulate ~support:chk "deduce"));
+    Test.make ~name:"figure1-tag-profile-boyer"
+      (Staged.stage (fun () -> simulate ~support:chk "boyer"));
+    Test.make ~name:"figure2-mask-elimination-comp"
+      (Staged.stage (fun () ->
+           simulate "comp";
+           simulate ~support:Tagsim.Support.row1_hw "comp"));
+    Test.make ~name:"table2-row7-frl"
+      (Staged.stage (fun () ->
+           simulate
+             ~support:(Tagsim.Support.with_checking Tagsim.Support.row7)
+             "frl"));
+    Test.make ~name:"table3-compile-opt"
+      (Staged.stage (fun () ->
+           let entry = Tagsim.Benchmarks.find "opt" in
+           ignore
+             (Tagsim.Program.compile ~scheme:Tagsim.Scheme.high5
+                ~support:Tagsim.Support.software
+                entry.Tagsim.Benchmarks.source)));
+    Test.make ~name:"garith-high6-rat"
+      (Staged.stage (fun () ->
+           simulate ~scheme:Tagsim.Scheme.high6 ~support:chk "rat"));
+    Test.make ~name:"ablation-dedgc-pressure"
+      (Staged.stage (fun () -> simulate "dedgc"));
+  ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let results =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let ols =
+          Analyze.ols ~bootstrap:0 ~r_square:false
+            ~predictors:Measure.[| run |]
+        in
+        Analyze.all ols Instance.monotonic_clock results)
+      (List.map (fun t -> Test.make_grouped ~name:"g" [ t ]) tests)
+  in
+  Fmt.pr "@.Bechamel kernels (wall-clock per regeneration kernel):@.";
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ t ] -> Fmt.pr "  %-44s %10.2f ms/run@." name (t /. 1e6)
+          | _ -> Fmt.pr "  %-44s (no estimate)@." name)
+        tbl)
+    results
+
+let () =
+  print_all ();
+  benchmark ()

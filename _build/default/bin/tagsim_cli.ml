@@ -1,0 +1,251 @@
+(** The tagsim command-line interface.
+
+    - [tagsim list]: the benchmark programs
+    - [tagsim run NAME ...]: run a benchmark under a configuration
+    - [tagsim file PATH ...]: compile and run a Lisp source file
+    - [tagsim asm NAME ...]: dump the scheduled assembly of a benchmark
+    - [tagsim experiments ...]: regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let scheme_arg =
+  let parse s =
+    try Ok (Tagsim.Scheme.by_name s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf (s : Tagsim.Scheme.t) = Fmt.string ppf s.Tagsim.Scheme.name in
+  Arg.conv (parse, print)
+
+let scheme =
+  Arg.(
+    value
+    & opt scheme_arg Tagsim.Scheme.high5
+    & info [ "s"; "scheme" ] ~docv:"SCHEME"
+        ~doc:"Tag scheme: high5, high6, low2 or low3.")
+
+let checking =
+  Arg.(
+    value & flag
+    & info [ "c"; "checking" ] ~doc:"Enable full run-time checking.")
+
+let config =
+  let parse s =
+    match s with
+    | "software" -> Ok Tagsim.Support.software
+    | "row1" -> Ok Tagsim.Support.row1_hw
+    | "row2" -> Ok Tagsim.Support.row2
+    | "row3" -> Ok Tagsim.Support.row3
+    | "row4" -> Ok Tagsim.Support.row4
+    | "row5" -> Ok Tagsim.Support.row5
+    | "row6" -> Ok Tagsim.Support.row6
+    | "row7" -> Ok Tagsim.Support.row7
+    | "spur" -> Ok Tagsim.Support.spur
+    | other -> Error (`Msg ("unknown hardware configuration: " ^ other))
+  in
+  let print ppf s = Fmt.string ppf (Tagsim.Support.describe s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tagsim.Support.software
+    & info [ "hw" ] ~docv:"CONFIG"
+        ~doc:
+          "Hardware support: software, row1..row7 (Table 2 rows) or spur.")
+
+let semi =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "semi" ] ~docv:"BYTES" ~doc:"Semispace size in bytes.")
+
+let support_of checking config =
+  if checking then Tagsim.Support.with_checking config else config
+
+let pp_stats ppf (stats : Tagsim.Stats.t) =
+  let total = Tagsim.Stats.total stats in
+  let pct n = 100.0 *. float_of_int n /. float_of_int total in
+  Fmt.pf ppf "cycles: %d  (instructions %d)@\n" total
+    (Tagsim.Stats.executed_insns stats);
+  Fmt.pf ppf "tag insertion : %7d  (%5.2f%%)@\n"
+    (Tagsim.Stats.insertion stats)
+    (pct (Tagsim.Stats.insertion stats));
+  Fmt.pf ppf "tag removal   : %7d  (%5.2f%%)@\n" (Tagsim.Stats.removal stats)
+    (pct (Tagsim.Stats.removal stats));
+  Fmt.pf ppf "tag extraction: %7d  (%5.2f%%)@\n"
+    (Tagsim.Stats.extraction stats)
+    (pct (Tagsim.Stats.extraction stats));
+  Fmt.pf ppf "tag checking  : %7d  (%5.2f%%)  (incl. extraction)@\n"
+    (Tagsim.Stats.tag_checking stats)
+    (pct (Tagsim.Stats.tag_checking stats));
+  Fmt.pf ppf "generic arith : %7d  (%5.2f%%)@\n"
+    (Tagsim.Stats.generic_arith stats)
+    (pct (Tagsim.Stats.generic_arith stats));
+  Fmt.pf ppf "allocation    : %7d  (%5.2f%%)@\n" (Tagsim.Stats.alloc stats)
+    (pct (Tagsim.Stats.alloc stats));
+  Fmt.pf ppf "collector     : %7d  (%5.2f%%)@\n" (Tagsim.Stats.gc stats)
+    (pct (Tagsim.Stats.gc stats))
+
+let run_program source sizes scheme support =
+  let program, result =
+    Tagsim.Program.run_source ~sizes ~scheme ~support source
+  in
+  (match result.Tagsim.Program.abort with
+  | Some msg -> Fmt.pr "aborted: %s@." msg
+  | None ->
+      Fmt.pr "result: %s@."
+        (Tagsim.Program.hval_to_string
+           (Option.get result.Tagsim.Program.value)));
+  Fmt.pr "%a" pp_stats result.Tagsim.Program.stats;
+  Fmt.pr "collections: %d (%d bytes copied)@."
+    result.Tagsim.Program.gc_collections
+    result.Tagsim.Program.gc_bytes_copied;
+  Fmt.pr "object code: %d words@."
+    program.Tagsim.Program.meta.Tagsim.Program.object_words
+
+let sizes_of (entry_sizes : Tagsim.Layout.sizes) semi : Tagsim.Layout.sizes =
+  match semi with
+  | None -> entry_sizes
+  | Some bytes -> { entry_sizes with Tagsim.Layout.semi_bytes = bytes }
+
+(* --- run --- *)
+
+let bench_name =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,tagsim list)).")
+
+let run_cmd =
+  let run name scheme checking config semi =
+    let entry = Tagsim.Benchmarks.find name in
+    Fmt.pr "== %s: %s@." name entry.Tagsim.Benchmarks.description;
+    run_program entry.Tagsim.Benchmarks.source
+      (sizes_of entry.Tagsim.Benchmarks.sizes semi)
+      scheme
+      (support_of checking config)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark program on the simulator.")
+    Term.(const run $ bench_name $ scheme $ checking $ config $ semi)
+
+(* --- file --- *)
+
+let file_cmd =
+  let run path scheme checking config semi =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    run_program source
+      (sizes_of Tagsim.Layout.default_sizes semi)
+      scheme
+      (support_of checking config)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Lisp source file defining (de main () ...).")
+  in
+  Cmd.v
+    (Cmd.info "file" ~doc:"Compile and run a Lisp source file.")
+    Term.(const run $ path $ scheme $ checking $ config $ semi)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Tagsim.Benchmarks.entry) ->
+        Fmt.pr "%-8s %s@." e.Tagsim.Benchmarks.name
+          e.Tagsim.Benchmarks.description)
+      (Tagsim.Benchmarks.all ())
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the benchmark programs.")
+    Term.(const run $ const ())
+
+(* --- asm --- *)
+
+let asm_cmd =
+  let run name scheme checking config =
+    let entry = Tagsim.Benchmarks.find name in
+    let program =
+      Tagsim.Program.compile ~sizes:entry.Tagsim.Benchmarks.sizes ~scheme
+        ~support:(support_of checking config)
+        entry.Tagsim.Benchmarks.source
+    in
+    Fmt.pr "%a@." Tagsim.Image.pp program.Tagsim.Program.image
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Dump the scheduled assembly of a benchmark.")
+    Term.(const run $ bench_name $ scheme $ checking $ config)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run name scheme checking config =
+    let entry = Tagsim.Benchmarks.find name in
+    let rows =
+      Tagsim.Analysis.Profile.measure ~scheme
+        ~support:(support_of checking config)
+        entry
+    in
+    Fmt.pr "%a@." Tagsim.Analysis.Profile.pp rows
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-function cycle profile of a benchmark run.")
+    Term.(const run $ bench_name $ scheme $ checking $ config)
+
+(* --- experiments --- *)
+
+let experiments_cmd =
+  let run only =
+    let want name = only = [] || List.mem name only in
+    if want "table1" then
+      Fmt.pr "%a@." Tagsim.Analysis.Table1.pp
+        (Tagsim.Analysis.Table1.measure ());
+    if want "figure1" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Figure1.pp
+        (Tagsim.Analysis.Figure1.measure ());
+    if want "figure2" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Figure2.pp
+        (Tagsim.Analysis.Figure2.measure ());
+    if want "table2" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Table2.pp
+        (Tagsim.Analysis.Table2.measure ());
+    if want "table3" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Table3.pp
+        (Tagsim.Analysis.Table3.measure ());
+    if want "garith" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Garith.pp
+        (Tagsim.Analysis.Garith.measure ());
+    if want "ablations" then
+      Fmt.pr "@.%a@." Tagsim.Analysis.Ablations.pp
+        (Tagsim.Analysis.Ablations.measure ())
+  in
+  let only =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated subset of table1, figure1, figure2, table2, \
+             table3, garith, ablations.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ only)
+
+let () =
+  let doc =
+    "tagsim: Steenkiste & Hennessy's 1987 tag-handling measurement study, \
+     reproduced"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tagsim" ~doc)
+          [
+            run_cmd; file_cmd; list_cmd; asm_cmd; profile_cmd;
+            experiments_cmd;
+          ]))

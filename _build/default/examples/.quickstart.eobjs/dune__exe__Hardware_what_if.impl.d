@@ -1,0 +1,1 @@
+examples/hardware_what_if.ml: Array Fmt List Sys Tagsim

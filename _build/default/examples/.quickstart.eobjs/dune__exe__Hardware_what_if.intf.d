@@ -1,0 +1,1 @@
+examples/hardware_what_if.mli:

@@ -1,0 +1,1 @@
+examples/tag_scheme_tour.ml: Fmt List Tagsim

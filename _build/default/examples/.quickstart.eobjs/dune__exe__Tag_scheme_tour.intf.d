@@ -1,0 +1,1 @@
+examples/tag_scheme_tour.mli:

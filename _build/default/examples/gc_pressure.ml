@@ -1,0 +1,29 @@
+(* The dedgc experiment, as a curve: run the deduce retriever under
+   shrinking semispaces and watch the copying collector take over the
+   execution profile (the paper's dedgc spends ~50% of its time
+   collecting).  The collector is simulated machine code, so its tag
+   dispatch shows up in the extraction/checking statistics like any other
+   code.
+
+   Run with:  dune exec examples/gc_pressure.exe *)
+
+let entry = Tagsim.Benchmarks.find "deduce"
+
+let () =
+  Fmt.pr "%10s %12s %12s %8s %10s@." "semispace" "cycles" "gc-cycles"
+    "gc-share" "collections";
+  List.iter
+    (fun semi ->
+      let _, result =
+        Tagsim.Program.run_source ~scheme:Tagsim.Scheme.high5
+          ~support:Tagsim.Support.software
+          ~sizes:{ Tagsim.Layout.stack_bytes = 1 lsl 18; semi_bytes = semi }
+          entry.Tagsim.Benchmarks.source
+      in
+      let stats = result.Tagsim.Program.stats in
+      let total = Tagsim.Stats.total stats in
+      let gc = Tagsim.Stats.gc stats in
+      Fmt.pr "%10d %12d %12d %7.1f%% %10d@." semi total gc
+        (100.0 *. float_of_int gc /. float_of_int total)
+        result.Tagsim.Program.gc_collections)
+    [ 65536; 32768; 16384; 8192; 6400; 6144 ]

@@ -1,0 +1,39 @@
+(* What would LISP-machine-style hardware buy on this workload?  The
+   Table 2 question, asked of a single program: run it under each degree
+   of hardware tag support and report the speedup over the plain software
+   implementation.
+
+   Run with:  dune exec examples/hardware_what_if.exe [benchmark] *)
+
+let configs =
+  [
+    ("software (baseline)", Tagsim.Support.software);
+    ("row 1: tag-ignoring memory", Tagsim.Support.row1_hw);
+    ("row 2: tag-field branches", Tagsim.Support.row2);
+    ("row 3: rows 1+2", Tagsim.Support.row3);
+    ("row 4: hardware generic arith", Tagsim.Support.row4);
+    ("row 5: parallel checks (lists)", Tagsim.Support.row5);
+    ("row 6: parallel checks (all)", Tagsim.Support.row6);
+    ("row 7: everything", Tagsim.Support.row7);
+    ("SPUR-like", Tagsim.Support.spur);
+  ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "deduce" in
+  let entry = Tagsim.Benchmarks.find name in
+  Fmt.pr "workload: %s (full run-time checking)@.@." name;
+  let cycles support =
+    let _, result =
+      Tagsim.Program.run_source ~scheme:Tagsim.Scheme.high5
+        ~support:(Tagsim.Support.with_checking support)
+        ~sizes:entry.Tagsim.Benchmarks.sizes entry.Tagsim.Benchmarks.source
+    in
+    Tagsim.Stats.total result.Tagsim.Program.stats
+  in
+  let base = cycles Tagsim.Support.software in
+  List.iter
+    (fun (label, support) ->
+      let c = cycles support in
+      Fmt.pr "%-32s %10d cycles   %+6.2f%%@." label c
+        (100.0 *. float_of_int (base - c) /. float_of_int base))
+    configs

@@ -1,0 +1,41 @@
+(* Quickstart: compile a small Lisp program for the simulated MIPS-X-like
+   machine, run it, and look at where the cycles went.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+(de squares (n)
+  (let ((l nil))
+    (dotimes (i n) (push (* i i) l))
+    (reverse l)))
+
+(de main ()
+  (let ((l (squares 10)) (s 0))
+    (dolist (x l) (setq s (+ s x)))
+    (list s (length l))))
+|}
+
+let () =
+  (* Pick a tag scheme (where the tag lives in the word) and a support
+     configuration (which checks run, and what hardware helps). *)
+  let scheme = Tagsim.Scheme.high5 in
+  let support = Tagsim.Support.with_checking Tagsim.Support.software in
+  let _program, result = Tagsim.Program.run_source ~scheme ~support source in
+  (match result.Tagsim.Program.value with
+  | Some v -> Fmt.pr "result: %s@." (Tagsim.Program.hval_to_string v)
+  | None ->
+      Fmt.pr "aborted: %s@." (Option.value ~default:"?" result.Tagsim.Program.abort));
+  let stats = result.Tagsim.Program.stats in
+  let total = Tagsim.Stats.total stats in
+  Fmt.pr "total cycles: %d@." total;
+  let pct n = 100.0 *. float_of_int n /. float_of_int total in
+  Fmt.pr "tag insertion  %5.2f%%@." (pct (Tagsim.Stats.insertion stats));
+  Fmt.pr "tag removal    %5.2f%%@." (pct (Tagsim.Stats.removal stats));
+  Fmt.pr "tag checking   %5.2f%%  (including extraction)@."
+    (pct (Tagsim.Stats.tag_checking stats));
+  Fmt.pr "generic arith  %5.2f%%@." (pct (Tagsim.Stats.generic_arith stats));
+  (* How much of the checking cost exists only because run-time checking
+     is on?  (The dark-grey bars of the paper's Figure 1.) *)
+  Fmt.pr "added by rtc   %5.2f%%@."
+    (pct (Tagsim.Stats.tag_checking ~checking:true stats))

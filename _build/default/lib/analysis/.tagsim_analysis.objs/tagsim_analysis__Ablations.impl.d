@@ -1,0 +1,1 @@
+lib/analysis/ablations.ml: Fmt List Run Tagsim_asm Tagsim_sim Tagsim_tags

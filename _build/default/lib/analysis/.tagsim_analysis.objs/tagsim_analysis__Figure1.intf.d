@@ -1,0 +1,1 @@
+lib/analysis/figure1.mli: Format Tagsim_tags

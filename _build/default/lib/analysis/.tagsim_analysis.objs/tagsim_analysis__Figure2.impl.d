@@ -1,0 +1,1 @@
+lib/analysis/figure2.ml: Fmt List Run Tagsim_mipsx Tagsim_sim Tagsim_tags

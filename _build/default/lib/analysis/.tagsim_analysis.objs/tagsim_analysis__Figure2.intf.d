@@ -1,0 +1,1 @@
+lib/analysis/figure2.mli: Format Tagsim_tags

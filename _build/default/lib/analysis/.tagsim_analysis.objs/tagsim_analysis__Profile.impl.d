@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Array Fmt Hashtbl List String Tagsim_asm Tagsim_compiler Tagsim_programs Tagsim_sim Tagsim_tags

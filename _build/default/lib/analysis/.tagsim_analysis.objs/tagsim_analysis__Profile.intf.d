@@ -1,0 +1,1 @@
+lib/analysis/profile.mli: Format Tagsim_asm Tagsim_programs Tagsim_tags

@@ -1,0 +1,1 @@
+lib/analysis/run.ml: Hashtbl List Option Printf String Tagsim_asm Tagsim_compiler Tagsim_programs Tagsim_runtime Tagsim_sim Tagsim_tags

@@ -1,0 +1,1 @@
+lib/analysis/run.mli: Tagsim_asm Tagsim_compiler Tagsim_programs Tagsim_sim Tagsim_tags

@@ -1,0 +1,1 @@
+lib/analysis/table1.ml: Fmt List Run Tagsim_mipsx Tagsim_programs Tagsim_sim Tagsim_tags

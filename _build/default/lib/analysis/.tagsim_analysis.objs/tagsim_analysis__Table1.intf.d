@@ -1,0 +1,1 @@
+lib/analysis/table1.mli: Format Tagsim_tags

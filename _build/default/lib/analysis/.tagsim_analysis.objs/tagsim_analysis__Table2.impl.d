@@ -1,0 +1,1 @@
+lib/analysis/table2.ml: Fmt List Run Tagsim_sim Tagsim_tags

@@ -1,0 +1,1 @@
+lib/analysis/table3.ml: Fmt List Run Tagsim_compiler Tagsim_programs Tagsim_tags

@@ -1,0 +1,47 @@
+(** Ablations of this implementation's own design choices (DESIGN.md):
+    the delay-slot scheduler features.  The paper's Figure 2 accounting
+    only makes sense because delay slots exist and are imperfectly
+    filled; these numbers show how much each scheduler feature
+    contributes. *)
+
+module Stats = Tagsim_sim.Stats
+module Sched = Tagsim_asm.Sched
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+
+type t = {
+  none : int; (* suite cycles, all scheduling off *)
+  hoist_only : int;
+  hoist_fill : int;
+  full : int; (* + squashing likely branches *)
+}
+
+let suite_cycles sched =
+  List.fold_left
+    (fun acc entry ->
+      let m =
+        Run.run ~sched ~scheme:Scheme.high5
+          ~support:(Support.with_checking Support.software) entry
+      in
+      acc + Stats.total m.Run.stats)
+    0 (Run.all_entries ())
+
+let measure () =
+  {
+    none = suite_cycles Sched.off;
+    hoist_only =
+      suite_cycles
+        { Sched.hoist = true; fill_unlikely = false; squash_likely = false };
+    hoist_fill =
+      suite_cycles
+        { Sched.hoist = true; fill_unlikely = true; squash_likely = false };
+    full = suite_cycles Sched.default;
+  }
+
+let pp ppf t =
+  let base = float_of_int t.none in
+  let pct n = 100.0 *. (base -. float_of_int n) /. base in
+  Fmt.pf ppf "Scheduler ablation (suite cycles saved vs. no scheduling):@\n";
+  Fmt.pf ppf "  hoisting only                 %6.2f%%@\n" (pct t.hoist_only);
+  Fmt.pf ppf "  + fall-through filling        %6.2f%%@\n" (pct t.hoist_fill);
+  Fmt.pf ppf "  + squashing likely branches   %6.2f%%@\n" (pct t.full)

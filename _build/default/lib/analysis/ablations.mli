@@ -1,0 +1,12 @@
+(** Ablations of this implementation's delay-slot scheduler (DESIGN.md):
+    suite cycles under each feature level, with run-time checking on. *)
+
+type t = {
+  none : int; (* all scheduling off *)
+  hoist_only : int;
+  hoist_fill : int;
+  full : int; (* + squashing likely branches *)
+}
+
+val measure : unit -> t
+val pp : Format.formatter -> t -> unit

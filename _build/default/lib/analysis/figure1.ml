@@ -1,0 +1,102 @@
+(** Figure 1: percentage of execution time spent on each tag-handling
+    operation — without run-time checking, the part added by run-time
+    checking, and with run-time checking.  "Checking" includes the cost of
+    the extractions feeding the checks plus the unused delay slots of
+    check branches, exactly as the paper charges them (Section 3.4). *)
+
+module Stats = Tagsim_sim.Stats
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+
+type bar = {
+  without : float; (* % of no-checking execution time *)
+  added : float; (* part added by checking, % of with-checking time *)
+  with_ : float; (* % of with-checking execution time *)
+}
+
+type t = {
+  insertion : bar;
+  removal : bar;
+  extraction : bar;
+  checking : bar; (* extraction + compare/branch + unused slots *)
+  (* per-program shares used for the standard-deviation claim of 3.5 *)
+  total_without : float list;
+  total_with : float list;
+}
+
+let measure ?(scheme = Scheme.high5) () =
+  let base_support = Support.software in
+  let chk_support = Support.with_checking Support.software in
+  let pairs =
+    List.map
+      (fun entry ->
+        ( Run.run ~scheme ~support:base_support entry,
+          Run.run ~scheme ~support:chk_support entry ))
+      (Run.all_entries ())
+  in
+  let bar_of metric =
+    let without =
+      Run.mean
+        (List.map
+           (fun (b, _) ->
+             Run.pct (metric b.Run.stats None) (Stats.total b.Run.stats))
+           pairs)
+    in
+    let added =
+      Run.mean
+        (List.map
+           (fun (_, c) ->
+             Run.pct
+               (metric c.Run.stats (Some true))
+               (Stats.total c.Run.stats))
+           pairs)
+    in
+    let with_ =
+      Run.mean
+        (List.map
+           (fun (_, c) ->
+             Run.pct (metric c.Run.stats None) (Stats.total c.Run.stats))
+           pairs)
+    in
+    { without; added; with_ }
+  in
+  let insertion s checking = Stats.insertion ?checking s in
+  let removal s checking = Stats.removal ?checking s in
+  let extraction s checking = Stats.extraction ?checking s in
+  let check s checking = Stats.tag_checking ?checking s in
+  let total_share (b, c) =
+    let share m =
+      Run.pct
+        (Stats.insertion m.Run.stats + Stats.removal m.Run.stats
+        + Stats.tag_checking m.Run.stats)
+        (Stats.total m.Run.stats)
+    in
+    (share b, share c)
+  in
+  let shares = List.map total_share pairs in
+  {
+    insertion = bar_of insertion;
+    removal = bar_of removal;
+    extraction = bar_of extraction;
+    checking = bar_of check;
+    total_without = List.map fst shares;
+    total_with = List.map snd shares;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "Figure 1: %% of time spent on tag handling operations@\n";
+  Fmt.pf ppf "%-12s %10s %14s %10s@\n" "" "no checking" "added by rtc"
+    "with rtc";
+  let row name (b : bar) paper =
+    Fmt.pf ppf "%-12s %10.2f %14.2f %10.2f   (paper: %s)@\n" name b.without
+      b.added b.with_ paper
+  in
+  row "insertion" t.insertion "1.5%";
+  row "removal" t.removal "8.7% / 7%";
+  row "extraction" t.extraction "4% / ~10%";
+  row "checking" t.checking "11% / 24%";
+  Fmt.pf ppf
+    "total tag handling: %.1f%% (no rtc, sd %.1f) ... %.1f%% (rtc, sd %.1f)   \
+     (paper: 22%% sd 5.6 ... 32%% sd 7.5)@\n"
+    (Run.mean t.total_without) (Run.stddev t.total_without)
+    (Run.mean t.total_with) (Run.stddev t.total_with)

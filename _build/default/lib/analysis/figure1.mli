@@ -1,0 +1,21 @@
+(** Figure 1: percentage of execution time spent on each tag-handling
+    operation — without run-time checking, the part added by checking,
+    and with checking. *)
+
+type bar = {
+  without : float; (* % of no-checking execution time *)
+  added : float; (* added by checking, % of with-checking time *)
+  with_ : float; (* % of with-checking execution time *)
+}
+
+type t = {
+  insertion : bar;
+  removal : bar;
+  extraction : bar;
+  checking : bar; (* extraction + compare/branch + unused slots *)
+  total_without : float list; (* per-program total shares *)
+  total_with : float list;
+}
+
+val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+val pp : Format.formatter -> t -> unit

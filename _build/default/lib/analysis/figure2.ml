@@ -1,0 +1,71 @@
+(** Figure 2: reduction in instruction frequencies when tag removal is
+    eliminated (tag-ignoring memory operations), for programs without
+    run-time checking.  Positive numbers are reductions, negative numbers
+    increases (no-ops and squashed slots go up because the masking
+    instructions are no longer available to fill delay slots). *)
+
+module Stats = Tagsim_sim.Stats
+module Insn = Tagsim_mipsx.Insn
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+
+type t = {
+  and_ : float; (* reduction in AND instructions, % of base instructions *)
+  move : float;
+  noop : float;
+  squash : float;
+  total : float; (* total instruction (≈cycle) reduction *)
+  cycle_speedup : float; (* the 5.7% headline of Section 5.1 *)
+}
+
+let measure ?(scheme = Scheme.high5) () =
+  let base_support = Support.software in
+  let ti_support = Support.row1_hw in
+  let deltas =
+    List.map
+      (fun entry ->
+        let b = Run.run ~scheme ~support:base_support entry in
+        let t = Run.run ~scheme ~support:ti_support entry in
+        let bi = Stats.executed_insns b.Run.stats in
+        let kl k =
+          Run.pct
+            (Stats.klass_count b.Run.stats k - Stats.klass_count t.Run.stats k)
+            bi
+        in
+        let squash =
+          Run.pct
+            (b.Run.stats.Stats.squashed - t.Run.stats.Stats.squashed)
+            bi
+        in
+        let total =
+          Run.pct (bi - Stats.executed_insns t.Run.stats) bi
+        in
+        let speedup =
+          Run.pct
+            (Stats.total b.Run.stats - Stats.total t.Run.stats)
+            (Stats.total b.Run.stats)
+        in
+        (kl Insn.K_and, kl Insn.K_move, kl Insn.K_nop, squash, total, speedup))
+      (Run.all_entries ())
+  in
+  let avg f = Run.mean (List.map f deltas) in
+  {
+    and_ = avg (fun (a, _, _, _, _, _) -> a);
+    move = avg (fun (_, m, _, _, _, _) -> m);
+    noop = avg (fun (_, _, n, _, _, _) -> n);
+    squash = avg (fun (_, _, _, s, _, _) -> s);
+    total = avg (fun (_, _, _, _, t, _) -> t);
+    cycle_speedup = avg (fun (_, _, _, _, _, s) -> s);
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "Figure 2: reduction in instruction frequencies when tag removal is \
+     eliminated@\n(positive = fewer, negative = more; %% of base \
+     instructions)@\n";
+  Fmt.pf ppf "  and    %+6.2f   (paper: ~ +8)@\n" t.and_;
+  Fmt.pf ppf "  move   %+6.2f   (paper: ~ -1)@\n" t.move;
+  Fmt.pf ppf "  noop   %+6.2f   (paper: ~ -0.5)@\n" t.noop;
+  Fmt.pf ppf "  squash %+6.2f   (paper: ~ -0.5)@\n" t.squash;
+  Fmt.pf ppf "  total  %+6.2f   (paper: ~ +6)@\n" t.total;
+  Fmt.pf ppf "  cycle speedup: %.2f%%   (paper: 5.7%%)@\n" t.cycle_speedup

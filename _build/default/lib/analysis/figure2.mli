@@ -1,0 +1,15 @@
+(** Figure 2: reduction in instruction frequencies when tag removal is
+    eliminated (tag-ignoring memory operations), without run-time
+    checking.  Positive = reductions, negative = increases. *)
+
+type t = {
+  and_ : float; (* % of base instructions *)
+  move : float;
+  noop : float;
+  squash : float;
+  total : float;
+  cycle_speedup : float; (* Section 5.1's 5.7% headline *)
+}
+
+val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+val pp : Format.formatter -> t -> unit

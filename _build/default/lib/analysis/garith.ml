@@ -1,0 +1,124 @@
+(** Section 4.2 (and related ablations):
+
+    - the cost of integer-biased generic arithmetic under the
+      straightforward High5 encoding vs. the arithmetic-friendly High6
+      encoding (paper: 2% average falling to 1.6%; about 8% -> 6% for
+      rat);
+    - the dispatch-first ablation of Section 6.2.2 (paper: a type dispatch
+      on every arithmetic operation would add 2.7% average execution
+      time);
+    - the preshifted-pair-tag ablation of Section 3.1 (paper: about 0.5%);
+    - the Section 5.2 claim that the low-tag software schemes match the
+      tag-ignoring hardware (Table 2 row 1). *)
+
+module Stats = Tagsim_sim.Stats
+module Annot = Tagsim_mipsx.Annot
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Registry = Tagsim_programs.Registry
+
+type row = { name : string; high5 : float; high6 : float }
+
+type t = {
+  rows : row list; (* generic-arithmetic share of execution time, rtc on *)
+  avg_high5 : float;
+  avg_high6 : float;
+  rat_high5 : float;
+  rat_high6 : float;
+  dispatch_increase : float; (* avg % increase with dispatch-first arith *)
+  preshift_speedup : float; (* avg % speedup from a preshifted pair tag *)
+  insertion_share : float; (* Section 3.1: avg % of time on insertion *)
+  low2_speedup : float; (* vs high5, no rtc *)
+  low3_speedup : float;
+  row1_hw_speedup : float;
+}
+
+(* Generic-arithmetic cost: the inline integer tests and overflow checks,
+   the out-of-line dispatch, and trap overhead. *)
+let garith_cycles stats =
+  Stats.extraction_of ~checking:true stats Annot.Arith_op
+  + Stats.check_only ~checking:true ~source:Annot.Arith_op stats
+  + Stats.generic_arith stats
+
+let measure () =
+  let chk = Support.with_checking Support.software in
+  let share scheme entry =
+    let m = Run.run ~scheme ~support:chk entry in
+    Run.pct (garith_cycles m.Run.stats) (Stats.total m.Run.stats)
+  in
+  let rows =
+    List.map
+      (fun entry ->
+        {
+          name = entry.Registry.name;
+          high5 = share Scheme.high5 entry;
+          high6 = share Scheme.high6 entry;
+        })
+      (Run.all_entries ())
+  in
+  let rat = List.find (fun r -> r.name = "rat") rows in
+  let suite scheme support =
+    List.fold_left
+      (fun acc e ->
+        acc + Stats.total (Run.run ~scheme ~support e).Run.stats)
+      0 (Run.all_entries ())
+  in
+  let base = suite Scheme.high5 Support.software in
+  let base_rtc = suite Scheme.high5 chk in
+  let dispatch =
+    suite Scheme.high5
+      (Support.with_checking
+         { Support.software with Support.int_biased_arith = false })
+  in
+  let preshift =
+    suite Scheme.high5
+      { Support.software with Support.preshifted_pair_tag = true }
+  in
+  let insertion_share =
+    Run.mean
+      (List.map
+         (fun e ->
+           let m = Run.run ~scheme:Scheme.high5 ~support:Support.software e in
+           Run.pct (Stats.insertion m.Run.stats) (Stats.total m.Run.stats))
+         (Run.all_entries ()))
+  in
+  {
+    rows;
+    avg_high5 = Run.mean (List.map (fun r -> r.high5) rows);
+    avg_high6 = Run.mean (List.map (fun r -> r.high6) rows);
+    rat_high5 = rat.high5;
+    rat_high6 = rat.high6;
+    dispatch_increase = Run.pct (dispatch - base_rtc) base_rtc;
+    preshift_speedup = Run.pct (base - preshift) base;
+    insertion_share;
+    low2_speedup =
+      Run.pct (base - suite Scheme.low2 Support.software) base;
+    low3_speedup =
+      Run.pct (base - suite Scheme.low3 Support.software) base;
+    row1_hw_speedup =
+      Run.pct (base - suite Scheme.high5 Support.row1_hw) base;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "Section 4.2: generic-arithmetic cost (%% of execution time, checking \
+     on)@\n";
+  Fmt.pf ppf "%-8s %8s %8s@\n" "" "high5" "high6";
+  List.iter
+    (fun r -> Fmt.pf ppf "%-8s %8.2f %8.2f@\n" r.name r.high5 r.high6)
+    t.rows;
+  Fmt.pf ppf "%-8s %8.2f %8.2f   (paper: 2%% -> 1.6%% average)@\n" "average"
+    t.avg_high5 t.avg_high6;
+  Fmt.pf ppf "rat: %.2f -> %.2f   (paper: ~8%% -> ~6%%)@\n" t.rat_high5
+    t.rat_high6;
+  Fmt.pf ppf
+    "dispatch-first arithmetic adds %.2f%% execution time (paper: 2.7%%)@\n"
+    t.dispatch_increase;
+  Fmt.pf ppf
+    "Section 3.1: insertion share %.2f%% (paper: 1.5%%); preshifted pair \
+     tag saves %.2f%% (paper: ~0.5%%)@\n"
+    t.insertion_share t.preshift_speedup;
+  Fmt.pf ppf
+    "Section 5.2: low2 %.2f%%, low3 %.2f%%, tag-ignoring hw %.2f%% speedup \
+     (paper: all ~5.7%%)@\n"
+    t.low2_speedup t.low3_speedup t.row1_hw_speedup

@@ -1,0 +1,23 @@
+(** Section 4.2 and related ablations: generic-arithmetic cost under the
+    High5 vs. High6 encodings, the dispatch-first ablation, the
+    preshifted-pair-tag ablation (Section 3.1), and the low-tag
+    equivalence claim (Section 5.2). *)
+
+type row = { name : string; high5 : float; high6 : float }
+
+type t = {
+  rows : row list; (* generic-arith share of execution time, rtc on *)
+  avg_high5 : float;
+  avg_high6 : float;
+  rat_high5 : float;
+  rat_high6 : float;
+  dispatch_increase : float;
+  preshift_speedup : float;
+  insertion_share : float;
+  low2_speedup : float;
+  low3_speedup : float;
+  row1_hw_speedup : float;
+}
+
+val measure : unit -> t
+val pp : Format.formatter -> t -> unit

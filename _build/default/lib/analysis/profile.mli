@@ -1,0 +1,16 @@
+(** A flat execution profiler: attributes every cycle to the function
+    whose code region the program counter is in — user functions
+    ([f$...]), runtime routines ([rt$...]) and the collector
+    ([gc$...]). *)
+
+type row = { label : string; cycles : int; share : float }
+
+(** Rows sorted by descending cycle count. *)
+val measure :
+  ?sched:Tagsim_asm.Sched.config ->
+  scheme:Tagsim_tags.Scheme.t ->
+  support:Tagsim_tags.Support.t ->
+  Tagsim_programs.Registry.entry ->
+  row list
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,95 @@
+(** Measurement driver: run a benchmark under a configuration, validate
+    its result, and hand back the statistics.  Runs are memoised — the
+    experiments share many configurations. *)
+
+module Stats = Tagsim_sim.Stats
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Sched = Tagsim_asm.Sched
+module Program = Tagsim_compiler.Program
+module Registry = Tagsim_programs.Registry
+module L = Tagsim_runtime.Layout
+
+exception Wrong_result of string
+
+type measurement = {
+  entry : Registry.entry;
+  scheme : Scheme.t;
+  support : Support.t;
+  stats : Stats.t;
+  gc_collections : int;
+  gc_bytes_copied : int;
+  meta : Program.meta;
+}
+
+let cache : (string, measurement) Hashtbl.t = Hashtbl.create 64
+
+let sched_key (s : Sched.config) =
+  Printf.sprintf "%b%b%b" s.Sched.hoist s.Sched.fill_unlikely
+    s.Sched.squash_likely
+
+let key entry scheme support sched =
+  String.concat "/"
+    [
+      entry.Registry.name;
+      scheme.Scheme.name;
+      Support.describe support;
+      sched_key sched;
+    ]
+
+let run ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
+  let k = key entry scheme support sched in
+  match Hashtbl.find_opt cache k with
+  | Some m -> m
+  | None ->
+      let program =
+        Program.compile ~sched ~sizes:entry.Registry.sizes ~scheme ~support
+          entry.Registry.source
+      in
+      let result = Program.run program in
+      (match result.Program.abort with
+      | Some msg ->
+          raise
+            (Wrong_result
+               (Printf.sprintf "%s [%s]: aborted: %s" entry.Registry.name
+                  scheme.Scheme.name msg))
+      | None -> ());
+      let got = Program.hval_to_string (Option.get result.Program.value) in
+      if got <> entry.Registry.expected then
+        raise
+          (Wrong_result
+             (Printf.sprintf "%s [%s/%s]: got %s, expected %s"
+                entry.Registry.name scheme.Scheme.name
+                (Support.describe support) got entry.Registry.expected));
+      let m =
+        {
+          entry;
+          scheme;
+          support;
+          stats = result.Program.stats;
+          gc_collections = result.Program.gc_collections;
+          gc_bytes_copied = result.Program.gc_bytes_copied;
+          meta = program.Program.meta;
+        }
+      in
+      Hashtbl.replace cache k m;
+      m
+
+let all_entries () = Registry.all ()
+
+(* Percentage helpers. *)
+let pct part whole = 100.0 *. float_of_int part /. float_of_int whole
+
+let mean l =
+  match l with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  let m = mean l in
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      sqrt
+        (List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+        /. float_of_int (List.length l))

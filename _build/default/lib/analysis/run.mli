@@ -1,0 +1,38 @@
+(** Measurement driver: run a benchmark under a configuration, validate
+    its result against the registry's expected value, and hand back the
+    statistics.  Runs are memoised (the experiments share many
+    configurations). *)
+
+module Stats := Tagsim_sim.Stats
+module Scheme := Tagsim_tags.Scheme
+module Support := Tagsim_tags.Support
+module Sched := Tagsim_asm.Sched
+module Program := Tagsim_compiler.Program
+module Registry := Tagsim_programs.Registry
+
+exception Wrong_result of string
+
+type measurement = {
+  entry : Registry.entry;
+  scheme : Scheme.t;
+  support : Support.t;
+  stats : Stats.t;
+  gc_collections : int;
+  gc_bytes_copied : int;
+  meta : Program.meta;
+}
+
+val run :
+  ?sched:Sched.config ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  Registry.entry ->
+  measurement
+
+val all_entries : unit -> Registry.entry list
+
+(** {1 Aggregation helpers} *)
+
+val pct : int -> int -> float
+val mean : float list -> float
+val stddev : float list -> float

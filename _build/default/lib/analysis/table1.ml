@@ -1,0 +1,78 @@
+(** Table 1: percentage increase in execution time when full run-time
+    checking is added, with the arith / vector / list contributions. *)
+
+module Stats = Tagsim_sim.Stats
+module Annot = Tagsim_mipsx.Annot
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Registry = Tagsim_programs.Registry
+
+type row = {
+  name : string;
+  arith : float; (* added arithmetic-checking cycles, % of base time *)
+  vector : float;
+  list : float;
+  other : float; (* symbol/other checks added by checking *)
+  total : float; (* measured total increase *)
+  paper_total : float;
+}
+
+type t = { rows : row list; average : row }
+
+(* Cycles that exist only because checking is on, attributed to a source:
+   extraction + compare/branch, plus (for arithmetic) the generic-arith
+   dispatch and trap overhead. *)
+let added_cycles stats (src : Annot.source) =
+  Stats.extraction_of ~checking:true stats src
+  + Stats.check_only ~checking:true ~source:src stats
+  + if src = Annot.Arith_op then Stats.generic_arith ~checking:true stats else 0
+
+let measure ?(scheme = Scheme.high5) () =
+  let base_support = Support.software in
+  let chk_support = Support.with_checking Support.software in
+  let rows =
+    List.map
+      (fun entry ->
+        let base = Run.run ~scheme ~support:base_support entry in
+        let chk = Run.run ~scheme ~support:chk_support entry in
+        let b = Stats.total base.Run.stats in
+        let s = chk.Run.stats in
+        {
+          name = entry.Registry.name;
+          arith = Run.pct (added_cycles s Annot.Arith_op) b;
+          vector = Run.pct (added_cycles s Annot.Vector_op) b;
+          list = Run.pct (added_cycles s Annot.List_op) b;
+          other =
+            Run.pct
+              (added_cycles s Annot.Symbol_op + added_cycles s Annot.Other_op)
+              b;
+          total = Run.pct (Stats.total s - b) b;
+          paper_total = entry.Registry.paper.Registry.p_total;
+        })
+      (Run.all_entries ())
+  in
+  let avg f = Run.mean (List.map f rows) in
+  let average =
+    {
+      name = "average";
+      arith = avg (fun r -> r.arith);
+      vector = avg (fun r -> r.vector);
+      list = avg (fun r -> r.list);
+      other = avg (fun r -> r.other);
+      total = avg (fun r -> r.total);
+      paper_total = 24.59;
+    }
+  in
+  { rows; average }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "Table 1: %% increase in execution time when run-time checking is added@\n";
+  Fmt.pf ppf "%-8s %8s %8s %8s %8s %8s   %s@\n" "" "arith" "vector" "list"
+    "other" "total" "(paper total)";
+  let row ppf r =
+    Fmt.pf ppf "%-8s %8.2f %8.2f %8.2f %8.2f %8.2f   (%.2f)" r.name r.arith
+      r.vector r.list r.other r.total r.paper_total
+  in
+  List.iter (fun r -> Fmt.pf ppf "%a@\n" row r) t.rows;
+  Fmt.pf ppf "%a@\n" row t.average

@@ -1,0 +1,17 @@
+(** Table 1: percentage increase in execution time when full run-time
+    checking is added, with the arith / vector / list contributions. *)
+
+type row = {
+  name : string;
+  arith : float;
+  vector : float;
+  list : float;
+  other : float;
+  total : float;
+  paper_total : float;
+}
+
+type t = { rows : row list; average : row }
+
+val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+val pp : Format.formatter -> t -> unit

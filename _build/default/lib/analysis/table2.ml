@@ -1,0 +1,119 @@
+(** Table 2: percentage of cycles eliminated under the different degrees
+    of hardware (and software) tag support, with and without run-time
+    checking.  Speedups are aggregated over the total cycles of the ten
+    programs, relative to the straightforward High5 software
+    implementation of Section 2.1.
+
+    Rows 5 and 6 are decomposed into their check and mask components, and
+    the SPUR configuration of Section 7 is included. *)
+
+module Stats = Tagsim_sim.Stats
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+
+type speedup = { no_rtc : float; rtc : float }
+
+type decomposed = {
+  d_check : speedup; (* from eliminated tag checking *)
+  d_mask : speedup; (* from eliminated tag removal *)
+  d_total : speedup;
+}
+
+type t = {
+  row1_software : speedup; (* Low2 scheme: tag in the low bits *)
+  row1 : speedup; (* tag-ignoring loads/stores *)
+  row2 : speedup; (* tag-field conditional branch *)
+  row3 : speedup; (* rows 1+2 *)
+  row4 : speedup; (* hardware generic arithmetic *)
+  row5 : decomposed; (* parallel checking, lists *)
+  row6 : decomposed; (* parallel checking, all types *)
+  row7 : decomposed; (* everything *)
+  spur : speedup; (* row 7 with lists-only parallel checking *)
+}
+
+(* Total cycles of the whole suite under a configuration. *)
+let suite_cycles ~scheme ~support =
+  List.fold_left
+    (fun acc entry ->
+      let m = Run.run ~scheme ~support entry in
+      acc + Stats.total m.Run.stats)
+    0 (Run.all_entries ())
+
+let suite_metric ~scheme ~support metric =
+  List.fold_left
+    (fun acc entry ->
+      let m = Run.run ~scheme ~support entry in
+      acc + metric m.Run.stats)
+    0 (Run.all_entries ())
+
+let speedup_vs ~base_scheme ~scheme support =
+  let one rtc =
+    let wrap s = if rtc then Support.with_checking s else s in
+    let base = suite_cycles ~scheme:base_scheme ~support:(wrap Support.software) in
+    let c = suite_cycles ~scheme ~support:(wrap support) in
+    Run.pct (base - c) base
+  in
+  { no_rtc = one false; rtc = one true }
+
+let decompose ~base_scheme ~scheme support =
+  let comp metric rtc =
+    let wrap s = if rtc then Support.with_checking s else s in
+    let base_total =
+      suite_cycles ~scheme:base_scheme ~support:(wrap Support.software)
+    in
+    let base = suite_metric ~scheme:base_scheme ~support:(wrap Support.software) metric in
+    let c = suite_metric ~scheme ~support:(wrap support) metric in
+    Run.pct (base - c) base_total
+  in
+  {
+    d_check =
+      {
+        no_rtc = comp (fun s -> Stats.tag_checking s) false;
+        rtc = comp (fun s -> Stats.tag_checking s) true;
+      };
+    d_mask =
+      {
+        no_rtc = comp (fun s -> Stats.removal s) false;
+        rtc = comp (fun s -> Stats.removal s) true;
+      };
+    d_total = speedup_vs ~base_scheme ~scheme support;
+  }
+
+let measure () =
+  let h5 = Scheme.high5 in
+  {
+    row1_software = speedup_vs ~base_scheme:h5 ~scheme:Scheme.low2 Support.software;
+    row1 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row1_hw;
+    row2 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row2;
+    row3 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row3;
+    row4 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row4;
+    row5 = decompose ~base_scheme:h5 ~scheme:h5 Support.row5;
+    row6 = decompose ~base_scheme:h5 ~scheme:h5 Support.row6;
+    row7 = decompose ~base_scheme:h5 ~scheme:h5 Support.row7;
+    spur = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.spur;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "Table 2: speedup in %% for different degrees of hardware support@\n";
+  Fmt.pf ppf "%-44s %12s %12s@\n" "" "no checking" "checking";
+  let row name s paper =
+    Fmt.pf ppf "%-44s %12.1f %12.1f   (paper: %s)@\n" name s.no_rtc s.rtc paper
+  in
+  row "1  avoid tag masking (software, low2 tags)" t.row1_software "5.7 / 4.6";
+  row "1' avoid tag masking (tag-ignoring mem ops)" t.row1 "5.7 / 4.6";
+  row "2  avoid tag extraction (tag branch)" t.row2 "3.6 / 9.3";
+  row "3  avoid masking and extraction" t.row3 "9.3 / 13.9";
+  row "4  support generic arithmetic" t.row4 "0 / 0.7";
+  let dec name d paper_check paper_mask paper_total =
+    Fmt.pf ppf "%-44s@\n" name;
+    row "     check" d.d_check paper_check;
+    row "     mask" d.d_mask paper_mask;
+    row "     total" d.d_total paper_total
+  in
+  dec "5  avoid tag checking on list ops" t.row5 "0 / 12.1" "0 / 4.2"
+    "0 / 16.3";
+  dec "6  avoid tag checking (lists+vectors)" t.row6 "0 / 13.6" "0 / 4.6"
+    "0 / 18.2";
+  dec "7  all of the above" t.row7 "3.6+ / ..." "5.7 / ..." "9.3 / 22.1";
+  row "   SPUR (row 7, lists-only par. checking)" t.spur "9 / 21"

@@ -1,0 +1,27 @@
+(** Table 2: percentage of suite cycles eliminated under the different
+    degrees of hardware (and software) tag support, with and without
+    run-time checking, relative to the straightforward High5 software
+    implementation. *)
+
+type speedup = { no_rtc : float; rtc : float }
+
+type decomposed = {
+  d_check : speedup; (* from eliminated tag checking *)
+  d_mask : speedup; (* from eliminated tag removal *)
+  d_total : speedup;
+}
+
+type t = {
+  row1_software : speedup; (* Low2 scheme *)
+  row1 : speedup; (* tag-ignoring loads/stores *)
+  row2 : speedup; (* tag-field conditional branch *)
+  row3 : speedup;
+  row4 : speedup; (* hardware generic arithmetic *)
+  row5 : decomposed; (* parallel checking, lists *)
+  row6 : decomposed; (* parallel checking, all types *)
+  row7 : decomposed; (* everything *)
+  spur : speedup;
+}
+
+val measure : unit -> t
+val pp : Format.formatter -> t -> unit

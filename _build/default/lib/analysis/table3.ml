@@ -1,0 +1,38 @@
+(** Table 3: static information on the ten test programs — number of
+    procedures (after pruning to the reachable set, i.e. including the
+    prelude "system modules" each program actually uses), source lines,
+    and object-code words. *)
+
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Registry = Tagsim_programs.Registry
+
+type row = {
+  name : string;
+  procedures : int;
+  source_lines : int;
+  object_words : int;
+}
+
+type t = row list
+
+let measure ?(scheme = Scheme.high5) () =
+  List.map
+    (fun entry ->
+      let m = Run.run ~scheme ~support:Support.software entry in
+      {
+        name = entry.Registry.name;
+        procedures = m.Run.meta.Tagsim_compiler.Program.procedures;
+        source_lines = m.Run.meta.Tagsim_compiler.Program.source_lines;
+        object_words = m.Run.meta.Tagsim_compiler.Program.object_words;
+      })
+    (Run.all_entries ())
+
+let pp ppf t =
+  Fmt.pf ppf "Table 3: information on the 10 test programs@\n";
+  Fmt.pf ppf "%-8s %12s %8s %12s@\n" "" "procedures" "lines" "object words";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-8s %12d %8d %12d@\n" r.name r.procedures r.source_lines
+        r.object_words)
+    t

@@ -1,0 +1,13 @@
+(** Table 3: static information on the ten test programs. *)
+
+type row = {
+  name : string;
+  procedures : int;
+  source_lines : int;
+  object_words : int;
+}
+
+type t = row list
+
+val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/asm/buf.ml: Fmt List Printf Tagsim_mipsx

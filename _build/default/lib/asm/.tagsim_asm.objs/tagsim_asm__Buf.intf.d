@@ -1,0 +1,1 @@
+lib/asm/buf.mli: Format Tagsim_mipsx

@@ -1,0 +1,1 @@
+lib/asm/image.ml: Array Buf Fmt Hashtbl List Sched Tagsim_mipsx

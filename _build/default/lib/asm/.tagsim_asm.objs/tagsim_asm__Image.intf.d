@@ -1,0 +1,1 @@
+lib/asm/image.mli: Buf Format Hashtbl Sched Tagsim_mipsx

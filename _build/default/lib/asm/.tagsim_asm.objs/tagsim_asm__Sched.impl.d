@@ -1,0 +1,1 @@
+lib/asm/sched.ml: Array Buf Hashtbl List Option Tagsim_mipsx

@@ -1,0 +1,1 @@
+lib/asm/sched.mli: Buf

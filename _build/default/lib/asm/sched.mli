@@ -1,0 +1,27 @@
+(** Delay-slot scheduling: rewrites a slot-free instruction stream so
+    that every branch or jump is followed by exactly two slot
+    instructions — hoisted from before the branch, pulled from the
+    fall-through of rarely-taken branches, or copied from the target of
+    likely branches (which become squashing).  Unfilled slots become
+    no-ops that inherit a checking branch's annotation, matching the
+    paper's accounting of unused delay slots (Section 3.4). *)
+
+type config = {
+  hoist : bool;
+  fill_unlikely : bool;
+  squash_likely : bool;
+}
+
+val default : config
+
+(** Everything off: every slot becomes a no-op (the naive-assembler
+    ablation). *)
+val off : config
+
+(** [run ~config ~fresh items] returns the slotted stream; [fresh]
+    generates labels for the squashing-branch retargets. *)
+val run :
+  ?config:config ->
+  fresh:(string -> string) ->
+  Buf.item list ->
+  Buf.item list

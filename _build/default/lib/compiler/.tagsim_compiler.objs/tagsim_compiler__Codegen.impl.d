@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Fmt Hashtbl List Option Symtab Tagsim_asm Tagsim_lisp Tagsim_mipsx Tagsim_runtime Tagsim_tags

@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Hashtbl Symtab Tagsim_lisp Tagsim_runtime

@@ -1,0 +1,1 @@
+lib/compiler/oracle.ml: Array Fmt Hashtbl List Prelude Printf Tagsim_lisp Tagsim_tags

@@ -1,0 +1,1 @@
+lib/compiler/prelude.ml: List String

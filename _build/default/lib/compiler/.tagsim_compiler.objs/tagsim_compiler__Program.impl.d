@@ -1,0 +1,1 @@
+lib/compiler/program.ml: Array Codegen Fmt Hashtbl List Prelude Printf String Symtab Tagsim_asm Tagsim_lisp Tagsim_mipsx Tagsim_runtime Tagsim_sim Tagsim_tags

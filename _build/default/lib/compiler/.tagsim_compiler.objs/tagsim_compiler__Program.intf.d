@@ -1,0 +1,1 @@
+lib/compiler/program.mli: Format Symtab Tagsim_asm Tagsim_runtime Tagsim_sim Tagsim_tags

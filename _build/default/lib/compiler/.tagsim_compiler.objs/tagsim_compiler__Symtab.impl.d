@@ -1,0 +1,1 @@
+lib/compiler/symtab.ml: Hashtbl List Printf Tagsim_asm Tagsim_runtime Tagsim_tags

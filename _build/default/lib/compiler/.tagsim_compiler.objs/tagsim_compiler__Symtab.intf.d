@@ -1,0 +1,1 @@
+lib/compiler/symtab.mli: Tagsim_asm Tagsim_tags

@@ -1,0 +1,16 @@
+(** Code generation: core AST to annotated assembly.  See the
+    implementation header for the compilation model (register
+    conventions, caller-save discipline, inline allocation, slow-path
+    stubs). *)
+
+exception Error of string
+
+val max_args : int
+
+(** Compile one function definition into the context's buffer. *)
+val compile_def :
+  Tagsim_runtime.Emit.ctx ->
+  Symtab.t ->
+  (string, int) Hashtbl.t ->
+  Tagsim_lisp.Ast.def ->
+  unit

@@ -1,0 +1,308 @@
+(** A reference interpreter for the Lisp dialect, used as a differential
+    testing oracle: random programs are evaluated both here (plain OCaml,
+    no tags, no simulator) and by the full compile–simulate pipeline, and
+    the results must agree — including which programs signal run-time
+    errors.
+
+    The oracle models the checked semantics: car/cdr of a non-pair,
+    vector index errors, arithmetic on non-numbers and integer overflow
+    (relative to a scheme's integer range) all raise {!Lisp_error}. *)
+
+module Ast = Tagsim_lisp.Ast
+module Expand = Tagsim_lisp.Expand
+module Scheme = Tagsim_tags.Scheme
+
+exception Lisp_error of string
+
+let error msg = raise (Lisp_error msg)
+
+type value =
+  | Int of int
+  | Sym of string
+  | Pair of pair
+  | Vec of value array
+  | Box of int
+
+and pair = { mutable car : value; mutable cdr : value }
+
+let nil = Sym "nil"
+let t = Sym "t"
+let truthy = function Sym "nil" -> false | _ -> true
+let of_bool b = if b then t else nil
+
+type env = {
+  int_min : int;
+  int_max : int;
+  defs : (string, Ast.def) Hashtbl.t;
+  globals : (string, value) Hashtbl.t; (* symbol value cells *)
+  plists : (string, value ref) Hashtbl.t;
+      (* property lists as shared, mutable Lisp values: the prelude's
+         [put] mutates them through rplacd, exactly as on the machine *)
+  mutable fuel : int; (* recursion/step budget *)
+}
+
+let rec value_of_const (c : Ast.const) =
+  match c with
+  | Ast.Cint n -> Int n
+  | Ast.Csym s -> Sym s
+  | Ast.Clist [] -> nil
+  | Ast.Clist (x :: rest) ->
+      Pair { car = value_of_const x; cdr = value_of_const (Ast.Clist rest) }
+
+
+(* Pointer equality, like [eq]: immediates by value, objects by identity. *)
+let eq_value a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Sym x, Sym y -> x = y
+  | _ -> a == b
+
+(* The prelude's [equal]: eq, or pairwise recursion on pairs — vectors
+   and boxes compare by identity, exactly as the Lisp definition does. *)
+let rec equal_value a b =
+  eq_value a b
+  ||
+  match (a, b) with
+  | Pair x, Pair y -> equal_value x.car y.car && equal_value x.cdr y.cdr
+  | (Int _ | Sym _ | Pair _ | Vec _ | Box _), _ -> false
+
+let _ = equal_value
+
+let as_int _env = function Int n -> n | _ -> error "type error"
+
+(* The multiplicative fallbacks reject non-integers with an arithmetic
+   error (rt$gmul and friends), unlike add/sub whose unboxing reports a
+   type error. *)
+let as_int_arith _env = function
+  | Int n -> n
+  | _ -> error "arithmetic error (overflow or bad type)"
+
+let check_range env n =
+  if n < env.int_min || n > env.int_max then
+    error "arithmetic error (overflow or bad type)"
+  else n
+
+(* Generic arithmetic: integers stay integers, boxed operands box the
+   result (add/sub only, as in the runtime). *)
+let arith env op a b =
+  let num = function
+    | Int n -> (n, false)
+    | Box n -> (n, true)
+    | _ -> error "type error"
+  in
+  match op with
+  | `Add | `Sub ->
+      let x, bx = num a and y, by = num b in
+      let r = check_range env (if op = `Add then x + y else x - y) in
+      if bx || by then Box r else Int r
+  | `Mul -> Int (check_range env (as_int_arith env a * as_int_arith env b))
+  | `Div ->
+      let y = as_int_arith env b in
+      if y = 0 then error "arithmetic error (overflow or bad type)"
+      else Int (as_int_arith env a / y)
+  | `Rem ->
+      let y = as_int_arith env b in
+      if y = 0 then error "arithmetic error (overflow or bad type)"
+      else Int (as_int_arith env a mod y)
+
+let compare_ints env op a b =
+  let x = as_int env a and y = as_int env b in
+  of_bool
+    (match op with
+    | `Lt -> x < y
+    | `Gt -> x > y
+    | `Le -> x <= y
+    | `Ge -> x >= y)
+
+let plist_cell env s =
+  match Hashtbl.find_opt env.plists s with
+  | Some cell -> cell
+  | None ->
+      let cell = ref nil in
+      Hashtbl.replace env.plists s cell;
+      cell
+
+let spend env =
+  env.fuel <- env.fuel - 1;
+  if env.fuel <= 0 then error "out of fuel"
+
+let rec eval env (locals : (string * value ref) list) (e : Ast.expr) : value =
+  spend env;
+  match e with
+  | Ast.Const c -> value_of_const c
+  | Ast.Var v -> (
+      match List.assoc_opt v locals with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt env.globals v with
+          | Some value -> value
+          | None -> nil))
+  | Ast.Setq (v, e) -> (
+      let value = eval env locals e in
+      match List.assoc_opt v locals with
+      | Some r ->
+          r := value;
+          value
+      | None ->
+          Hashtbl.replace env.globals v value;
+          value)
+  | Ast.If (c, a, b) ->
+      if truthy (eval env locals c) then eval env locals a
+      else eval env locals b
+  | Ast.Progn es ->
+      List.fold_left (fun _ e -> eval env locals e) nil es
+  | Ast.While (c, body) ->
+      let rec loop () =
+        spend env;
+        if truthy (eval env locals c) then begin
+          List.iter (fun e -> ignore (eval env locals e)) body;
+          loop ()
+        end
+        else nil
+      in
+      loop ()
+  | Ast.Let (binds, body) ->
+      let locals =
+        List.fold_left
+          (fun locals (v, init) ->
+            (v, ref (eval env locals init)) :: locals)
+          locals binds
+      in
+      List.fold_left (fun _ e -> eval env locals e) nil body
+  | Ast.Funcall (f, args) -> (
+      let fv = eval env locals f in
+      let args = List.map (fun a -> eval env locals a) args in
+      match fv with
+      | Sym name when Hashtbl.mem env.defs name -> apply env name args
+      | Sym _ -> error "undefined function"
+      | _ -> error "type error")
+  | Ast.Call (name, args) ->
+      let args = List.map (fun a -> eval env locals a) args in
+      if Hashtbl.mem env.defs name then apply env name args
+      else prim env name args
+
+and apply env name args =
+  let def = Hashtbl.find env.defs name in
+  if List.length def.Ast.params <> List.length args then error "arity"
+  else
+    let locals = List.map2 (fun p a -> (p, ref a)) def.Ast.params args in
+    eval env locals def.Ast.body
+
+and prim env name args =
+  match (name, args) with
+  | "car", [ Pair p ] -> p.car
+  | "cdr", [ Pair p ] -> p.cdr
+  | ("car" | "cdr"), [ _ ] -> error "type error"
+  | "cons", [ a; b ] -> Pair { car = a; cdr = b }
+  | "rplaca", [ Pair p; v ] ->
+      p.car <- v;
+      Pair p
+  | "rplacd", [ Pair p; v ] ->
+      p.cdr <- v;
+      Pair p
+  | ("rplaca" | "rplacd"), [ _; _ ] -> error "type error"
+  | "plus2", [ a; b ] -> arith env `Add a b
+  | "difference2", [ a; b ] -> arith env `Sub a b
+  | "times2", [ a; b ] -> arith env `Mul a b
+  | "quotient", [ a; b ] -> arith env `Div a b
+  | "remainder", [ a; b ] -> arith env `Rem a b
+  | "land2", [ a; b ] -> Int (as_int env a land as_int env b)
+  | "lor2", [ a; b ] -> Int (as_int env a lor as_int env b)
+  | "lxor2", [ a; b ] -> Int (as_int env a lxor as_int env b)
+  | "lessp", [ a; b ] -> compare_ints env `Lt a b
+  | "greaterp", [ a; b ] -> compare_ints env `Gt a b
+  | "leq", [ a; b ] -> compare_ints env `Le a b
+  | "geq", [ a; b ] -> compare_ints env `Ge a b
+  | "eqn", [ a; b ] -> of_bool (eq_value a b)
+  | "eq", [ a; b ] -> of_bool (eq_value a b)
+  | "null", [ a ] -> of_bool (not (truthy a))
+  | "atom", [ a ] -> of_bool (match a with Pair _ -> false | _ -> true)
+  | "pairp", [ a ] -> of_bool (match a with Pair _ -> true | _ -> false)
+  | "symbolp", [ a ] -> of_bool (match a with Sym _ -> true | _ -> false)
+  | "vectorp", [ a ] -> of_bool (match a with Vec _ -> true | _ -> false)
+  | "boxp", [ a ] -> of_bool (match a with Box _ -> true | _ -> false)
+  | "numberp", [ a ] ->
+      of_bool (match a with Int _ | Box _ -> true | _ -> false)
+  | "mkvect", [ Int n ] ->
+      if n < 0 then error "bounds error" else Vec (Array.make n nil)
+  | "mkvect", [ _ ] -> error "type error"
+  | "getv", [ Vec v; Int i ] ->
+      if i < 0 || i >= Array.length v then error "bounds error" else v.(i)
+  | "putv", [ Vec v; Int i; x ] ->
+      if i < 0 || i >= Array.length v then error "bounds error"
+      else begin
+        v.(i) <- x;
+        x
+      end
+  | ("getv" | "putv"), _ -> error "type error"
+  | "vlen", [ Vec v ] -> Int (Array.length v)
+  | "vlen", [ _ ] -> error "type error"
+  | "makebox", [ Int n ] -> Box n
+  | "makebox", [ _ ] -> error "type error"
+  | "unbox", [ Box n ] -> Int n
+  | "unbox", [ _ ] -> error "type error"
+  | "plist", [ Sym s ] -> !(plist_cell env s)
+  | "plist", [ _ ] -> error "type error"
+  | "setplist", [ Sym s; v ] ->
+      plist_cell env s := v;
+      v
+  | "setplist", [ _; _ ] -> error "type error"
+  | "reclaim", [] -> nil
+  | "gccount", [] -> Int 0
+  | "error", [] -> error "user error"
+  | _ ->
+      error (Printf.sprintf "unknown primitive %s/%d" name (List.length args))
+
+(* The oracle uses the same prelude source as the compiler, interpreted. *)
+let load_defs source =
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun (_, src) ->
+      List.iter
+        (fun d -> Hashtbl.replace defs d.Ast.name d)
+        (Expand.program src))
+    Prelude.functions;
+  List.iter
+    (fun d -> Hashtbl.replace defs d.Ast.name d)
+    (Expand.program source);
+  defs
+
+type outcome = Value of value | Error of string
+
+let run ?(scheme = Scheme.high5) ?(fuel = 2_000_000) source : outcome =
+  let env =
+    {
+      int_min = scheme.Scheme.int_min;
+      int_max = scheme.Scheme.int_max;
+      defs = load_defs source;
+      globals = Hashtbl.create 16;
+      plists = Hashtbl.create 16;
+      fuel;
+    }
+  in
+  if not (Hashtbl.mem env.defs "main") then Error "no main"
+  else
+    try Value (apply env "main" []) with
+    | Lisp_error msg -> Error msg
+    | Stack_overflow -> Error "out of fuel"
+
+(* Print values exactly like {!Program.hval_to_string}. *)
+let rec pp ppf v =
+  match v with
+  | Int n -> Fmt.int ppf n
+  | Sym s -> Fmt.string ppf s
+  | Vec a -> Fmt.pf ppf "#(%a)" Fmt.(array ~sep:(any " ") pp) a
+  | Box n -> Fmt.pf ppf "#box(%d)" n
+  | Pair _ ->
+      let rec elements acc = function
+        | Pair { car; cdr } -> elements (car :: acc) cdr
+        | Sym "nil" -> (List.rev acc, None)
+        | other -> (List.rev acc, Some other)
+      in
+      let items, tail = elements [] v in
+      (match tail with
+      | None -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " ") pp) items
+      | Some tl ->
+          Fmt.pf ppf "(%a . %a)" Fmt.(list ~sep:(any " ") pp) items pp tl)
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,103 @@
+(** The Lisp library prelude.
+
+    These play the role of the "LISP system modules" the paper's Appendix
+    mentions: each benchmark is compiled together with the prelude
+    functions it actually uses (unreachable ones are pruned), and their
+    cycles are measured like user code.  Each function is a separate
+    source string so that Table 3 can count the lines of the retained
+    ones. *)
+
+let functions : (string * string) list =
+  [
+    ("abs", "(de abs (x) (if (lessp x 0) (- x) x))");
+    ("min2", "(de min2 (a b) (if (greaterp a b) b a))");
+    ("max2", "(de max2 (a b) (if (lessp a b) b a))");
+    ( "length",
+      "(de length (l)\n\
+      \  (let ((n 0))\n\
+      \    (while (pairp l) (incf n) (setq l (cdr l)))\n\
+      \    n))" );
+    ( "append2",
+      "(de append2 (a b)\n\
+      \  (if (pairp a) (cons (car a) (append2 (cdr a) b)) b))" );
+    ( "reverse",
+      "(de reverse (l)\n\
+      \  (let ((r nil)) (dolist (x l) (push x r)) r))" );
+    ( "nconc2",
+      "(de nconc2 (a b)\n\
+      \  (if (null a) b\n\
+      \    (let ((p a))\n\
+      \      (while (pairp (cdr p)) (setq p (cdr p)))\n\
+      \      (rplacd p b)\n\
+      \      a)))" );
+    ( "memq",
+      "(de memq (x l)\n\
+      \  (while (and (pairp l) (not (eq (car l) x))) (setq l (cdr l)))\n\
+      \  l)" );
+    ( "member",
+      "(de member (x l)\n\
+      \  (while (and (pairp l) (not (equal (car l) x))) (setq l (cdr l)))\n\
+      \  l)" );
+    ( "assq",
+      "(de assq (x l)\n\
+      \  (while (and (pairp l) (not (eq (caar l) x))) (setq l (cdr l)))\n\
+      \  (if (pairp l) (car l) nil))" );
+    ( "assoc",
+      "(de assoc (x l)\n\
+      \  (while (and (pairp l) (not (equal (caar l) x))) (setq l (cdr l)))\n\
+      \  (if (pairp l) (car l) nil))" );
+    ( "equal",
+      "(de equal (a b)\n\
+      \  (cond ((eq a b) t)\n\
+      \        ((and (pairp a) (pairp b))\n\
+      \         (and (equal (car a) (car b)) (equal (cdr a) (cdr b))))\n\
+      \        (t nil)))" );
+    ( "nth",
+      "(de nth (l n)\n\
+      \  (while (greaterp n 0) (setq l (cdr l)) (decf n))\n\
+      \  (car l))" );
+    ("last", "(de last (l) (while (pairp (cdr l)) (setq l (cdr l))) l)");
+    ( "get",
+      "(de get (s k)\n\
+      \  (let ((p (plist s)))\n\
+      \    (while (and (pairp p) (not (eq (caar p) k))) (setq p (cdr p)))\n\
+      \    (if (pairp p) (cdar p) nil)))" );
+    ( "put",
+      "(de put (s k v)\n\
+      \  (let ((p (plist s)))\n\
+      \    (while (and (pairp p) (not (eq (caar p) k))) (setq p (cdr p)))\n\
+      \    (if (pairp p) (rplacd (car p) v)\n\
+      \      (setplist s (cons (cons k v) (plist s))))\n\
+      \    v))" );
+    ( "remprop",
+      "(de remprop (s k)\n\
+      \  (let ((p (plist s)) (prev nil))\n\
+      \    (while (and (pairp p) (not (eq (caar p) k)))\n\
+      \      (setq prev p) (setq p (cdr p)))\n\
+      \    (when (pairp p)\n\
+      \      (if prev (rplacd prev (cdr p)) (setplist s (cdr p))))\n\
+      \    nil))" );
+    ( "mapcar",
+      "(de mapcar (fn l)\n\
+      \  (let ((r nil))\n\
+      \    (dolist (x l) (push (funcall fn x) r))\n\
+      \    (reverse r)))" );
+    ( "copy",
+      "(de copy (x)\n\
+      \  (if (pairp x) (cons (copy (car x)) (copy (cdr x))) x))" );
+    ( "delq",
+      "(de delq (x l)\n\
+      \  (cond ((null l) nil)\n\
+      \        ((eq (car l) x) (delq x (cdr l)))\n\
+      \        (t (cons (car l) (delq x (cdr l))))))" );
+    ( "gcd",
+      "(de gcd (a b)\n\
+      \  (setq a (abs a))\n\
+      \  (setq b (abs b))\n\
+      \  (while (greaterp b 0)\n\
+      \    (let ((r (remainder a b))) (setq a b) (setq b r)))\n\
+      \  a)" );
+  ]
+
+let source_of name = List.assoc_opt name functions
+let line_count src = List.length (String.split_on_char '\n' src)

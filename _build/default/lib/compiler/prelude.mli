@@ -1,0 +1,10 @@
+(** The Lisp library prelude — the stand-in for the paper's "LISP system
+    modules": each benchmark is compiled together with the prelude
+    functions it actually uses, and their cycles are measured like user
+    code. *)
+
+(** Function name, definition source. *)
+val functions : (string * string) list
+
+val source_of : string -> string option
+val line_count : string -> int

@@ -1,0 +1,84 @@
+(** Whole-program compilation, loading and execution: a Lisp source
+    defining [(de main () ...)] is compiled with the prelude (unreachable
+    functions pruned), linked with the runtime, assembled, loaded into a
+    simulator instance and run. *)
+
+module Image := Tagsim_asm.Image
+module Sched := Tagsim_asm.Sched
+module Machine := Tagsim_sim.Machine
+module Stats := Tagsim_sim.Stats
+module Scheme := Tagsim_tags.Scheme
+module Support := Tagsim_tags.Support
+module L := Tagsim_runtime.Layout
+
+exception Error of string
+
+(** Static metadata, for Table 3. *)
+type meta = {
+  procedures : int; (* retained definitions, prelude included *)
+  source_lines : int; (* non-blank lines of retained source *)
+  object_words : int;
+}
+
+type t = {
+  image : Image.t;
+  scheme : Scheme.t;
+  support : Support.t;
+  symtab : Symtab.t;
+  sizes : L.sizes;
+  mem_bytes : int;
+  meta : meta;
+}
+
+val compile :
+  ?sched:Sched.config ->
+  ?sizes:L.sizes ->
+  ?mem_bytes:int ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  string ->
+  t
+
+(** {1 Results} *)
+
+(** Host-side view of a Lisp value. *)
+type hval =
+  | Hint of int
+  | Hsym of string
+  | Hpair of hval * hval
+  | Hvec of hval array
+  | Hbox of int
+
+val pp_hval : Format.formatter -> hval -> unit
+val hval_to_string : hval -> string
+
+(** Decode a machine word into a host value (bounded depth). *)
+val decode : t -> Machine.t -> int -> hval
+
+type result = {
+  value : hval option; (* Some v on normal termination *)
+  abort : string option;
+  stats : Stats.t;
+  gc_collections : int;
+  gc_bytes_copied : int;
+  map : L.map;
+}
+
+val abort_message : int -> string
+
+(** Create a machine, poke the memory-map words and register the trap
+    handlers; ready to run from address 0. *)
+val load : ?fuel:int -> t -> Machine.t * L.map
+
+val run : ?fuel:int -> t -> result
+
+(** Compile and run in one step. *)
+val run_source :
+  ?sched:Sched.config ->
+  ?sizes:L.sizes ->
+  ?mem_bytes:int ->
+  ?fuel:int ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  string ->
+  t * result

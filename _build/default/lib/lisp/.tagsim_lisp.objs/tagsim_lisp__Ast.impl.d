@@ -1,0 +1,1 @@
+lib/lisp/ast.ml: Fmt

@@ -1,0 +1,1 @@
+lib/lisp/expand.ml: Ast Fmt Hashtbl List Printf Sexp String

@@ -1,0 +1,1 @@
+lib/lisp/expand.mli: Ast Sexp

@@ -1,0 +1,1 @@
+lib/lisp/sexp.mli: Format

@@ -1,0 +1,43 @@
+(** Core abstract syntax after special-form and macro expansion. *)
+
+type const = Cint of int | Csym of string | Clist of const list
+
+type expr =
+  | Const of const
+  | Var of string (* local variable or global (symbol value cell) *)
+  | If of expr * expr * expr
+  | Progn of expr list
+  | Setq of string * expr
+  | While of expr * expr list
+  | Let of (string * expr) list * expr list
+  | Call of string * expr list (* primitive or user function *)
+  | Funcall of expr * expr list (* call through a symbol's function cell *)
+
+type def = { name : string; params : string list; body : expr }
+
+let nil = Const (Csym "nil")
+let t = Const (Csym "t")
+
+let rec pp_const ppf = function
+  | Cint n -> Fmt.int ppf n
+  | Csym s -> Fmt.string ppf s
+  | Clist l -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " ") pp_const) l
+
+let rec pp ppf = function
+  | Const c -> Fmt.pf ppf "'%a" pp_const c
+  | Var v -> Fmt.string ppf v
+  | If (c, a, b) -> Fmt.pf ppf "(if %a %a %a)" pp c pp a pp b
+  | Progn es -> Fmt.pf ppf "(progn %a)" Fmt.(list ~sep:(any " ") pp) es
+  | Setq (v, e) -> Fmt.pf ppf "(setq %s %a)" v pp e
+  | While (c, body) ->
+      Fmt.pf ppf "(while %a %a)" pp c Fmt.(list ~sep:(any " ") pp) body
+  | Let (binds, body) ->
+      let pp_bind ppf (v, e) = Fmt.pf ppf "(%s %a)" v pp e in
+      Fmt.pf ppf "(let (%a) %a)"
+        Fmt.(list ~sep:(any " ") pp_bind)
+        binds
+        Fmt.(list ~sep:(any " ") pp)
+        body
+  | Call (f, args) -> Fmt.pf ppf "(%s %a)" f Fmt.(list ~sep:(any " ") pp) args
+  | Funcall (f, args) ->
+      Fmt.pf ppf "(funcall %a %a)" pp f Fmt.(list ~sep:(any " ") pp) args

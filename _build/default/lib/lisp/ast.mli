@@ -1,0 +1,21 @@
+(** Core abstract syntax after special-form and macro expansion. *)
+
+type const = Cint of int | Csym of string | Clist of const list
+
+type expr =
+  | Const of const
+  | Var of string (* local variable or global (symbol value cell) *)
+  | If of expr * expr * expr
+  | Progn of expr list
+  | Setq of string * expr
+  | While of expr * expr list
+  | Let of (string * expr) list * expr list
+  | Call of string * expr list (* primitive or user function *)
+  | Funcall of expr * expr list (* call through a symbol's function cell *)
+
+type def = { name : string; params : string list; body : expr }
+
+val nil : expr
+val t : expr
+val pp_const : Format.formatter -> const -> unit
+val pp : Format.formatter -> expr -> unit

@@ -1,0 +1,256 @@
+(** Translation from s-expressions to core AST: special forms, the fixed
+    macro set, and desugaring of n-ary arithmetic into the binary
+    primitives the code generator knows. *)
+
+exception Error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let gensym_counter = ref 0
+
+let gensym prefix =
+  incr gensym_counter;
+  Printf.sprintf "%%%s%d" prefix !gensym_counter
+
+(* Surface names rewritten to binary primitive chains. *)
+let nary_binary =
+  [
+    ("+", "plus2");
+    ("plus", "plus2");
+    ("*", "times2");
+    ("times", "times2");
+    ("min", "min2");
+    ("max", "max2");
+    ("land", "land2");
+    ("lor", "lor2");
+    ("lxor", "lxor2");
+    ("append", "append2");
+    ("nconc", "nconc2");
+  ]
+
+(* car/cdr composition shorthands. *)
+let cxr name =
+  let n = String.length name in
+  if n >= 3 && n <= 6 && name.[0] = 'c' && name.[n - 1] = 'r' then
+    let middle = String.sub name 1 (n - 2) in
+    if String.for_all (fun c -> c = 'a' || c = 'd') middle && n > 3 then
+      Some middle
+    else None
+  else None
+
+let rec const_of_sexp (s : Sexp.t) : Ast.const =
+  match s with
+  | Sexp.Int n -> Ast.Cint n
+  | Sexp.Sym s -> Ast.Csym s
+  | Sexp.List l -> Ast.Clist (List.map const_of_sexp l)
+
+let rec expr (s : Sexp.t) : Ast.expr =
+  match s with
+  | Sexp.Int n -> Ast.Const (Ast.Cint n)
+  | Sexp.Sym "nil" -> Ast.nil
+  | Sexp.Sym "t" -> Ast.t
+  | Sexp.Sym v -> Ast.Var v
+  | Sexp.List [] -> Ast.nil
+  | Sexp.List (Sexp.Sym head :: args) -> form head args
+  | Sexp.List (head :: _) ->
+      errorf "cannot apply non-symbol %s" (Sexp.to_string head)
+
+and body_exprs = function
+  | [] -> Ast.nil
+  | [ e ] -> expr e
+  | es -> Ast.Progn (List.map expr es)
+
+and form head args =
+  match (head, args) with
+  | "quote", [ q ] -> Ast.Const (const_of_sexp q)
+  | "quote", _ -> errorf "quote expects one argument"
+  | "if", [ c; a ] -> Ast.If (expr c, expr a, Ast.nil)
+  | "if", c :: a :: rest -> Ast.If (expr c, expr a, body_exprs rest)
+  | "if", _ -> errorf "if expects at least two arguments"
+  | "progn", es -> body_exprs es
+  | "prog1", e :: rest ->
+      let v = gensym "p1" in
+      Ast.Let ([ (v, expr e) ], List.map expr rest @ [ Ast.Var v ])
+  | "setq", [ Sexp.Sym v; e ] -> Ast.Setq (v, expr e)
+  | "setq", _ -> errorf "setq expects a symbol and a value"
+  | "while", c :: body -> Ast.While (expr c, List.map expr body)
+  | "while", [] -> errorf "while expects a condition"
+  | ("let" | "let*"), Sexp.List binds :: body ->
+      let bind = function
+        | Sexp.List [ Sexp.Sym v; e ] -> (v, expr e)
+        | Sexp.Sym v -> (v, Ast.nil)
+        | b -> errorf "bad let binding %s" (Sexp.to_string b)
+      in
+      Ast.Let (List.map bind binds, [ body_exprs body ])
+  | ("let" | "let*"), _ -> errorf "let expects a binding list"
+  | "cond", clauses ->
+      let rec build = function
+        | [] -> Ast.nil
+        | Sexp.List [ c ] :: rest ->
+            let v = gensym "c" in
+            Ast.Let ([ (v, expr c) ],
+                     [ Ast.If (Ast.Var v, Ast.Var v, build rest) ])
+        | Sexp.List (Sexp.Sym "t" :: body) :: _ -> body_exprs body
+        | Sexp.List (c :: body) :: rest ->
+            Ast.If (expr c, body_exprs body, build rest)
+        | cl :: _ -> errorf "bad cond clause %s" (Sexp.to_string cl)
+      in
+      build clauses
+  | "and", [] -> Ast.t
+  | "and", es ->
+      let rec build = function
+        | [ e ] -> expr e
+        | e :: rest -> Ast.If (expr e, build rest, Ast.nil)
+        | [] -> assert false
+      in
+      build es
+  | "or", [] -> Ast.nil
+  | "or", es ->
+      let rec build = function
+        | [ e ] -> expr e
+        | e :: rest ->
+            let v = gensym "o" in
+            Ast.Let ([ (v, expr e) ],
+                     [ Ast.If (Ast.Var v, Ast.Var v, build rest) ])
+        | [] -> assert false
+      in
+      build es
+  | "when", c :: body -> Ast.If (expr c, body_exprs body, Ast.nil)
+  | "unless", c :: body -> Ast.If (expr c, Ast.nil, body_exprs body)
+  | "not", [ e ] -> Ast.Call ("null", [ expr e ])
+  | "neq", [ a; b ] -> Ast.Call ("null", [ Ast.Call ("eq", [ expr a; expr b ]) ])
+  | "list", [] -> Ast.nil
+  | "list", es when List.length es <= 4 ->
+      List.fold_right
+        (fun e acc -> Ast.Call ("cons", [ expr e; acc ]))
+        es Ast.nil
+  | "list", es ->
+      (* Long lists: bind the elements in evaluation order, then build the
+         spine with a flat setq chain (bounded expression depth). *)
+      let binds = List.map (fun e -> (gensym "le", expr e)) es in
+      let acc = gensym "ll" in
+      let build =
+        List.rev_map
+          (fun (v, _) ->
+            Ast.Setq (acc, Ast.Call ("cons", [ Ast.Var v; Ast.Var acc ])))
+          binds
+      in
+      Ast.Let (binds @ [ (acc, Ast.nil) ], build @ [ Ast.Var acc ])
+  | "push", [ e; Sexp.Sym v ] ->
+      Ast.Setq (v, Ast.Call ("cons", [ expr e; Ast.Var v ]))
+  | "pop", [ Sexp.Sym v ] ->
+      let x = gensym "pp" in
+      Ast.Let
+        ( [ (x, Ast.Call ("car", [ Ast.Var v ])) ],
+          [ Ast.Setq (v, Ast.Call ("cdr", [ Ast.Var v ])); Ast.Var x ] )
+  | "incf", [ Sexp.Sym v ] ->
+      Ast.Setq (v, Ast.Call ("plus2", [ Ast.Var v; Ast.Const (Ast.Cint 1) ]))
+  | "decf", [ Sexp.Sym v ] ->
+      Ast.Setq
+        (v, Ast.Call ("difference2", [ Ast.Var v; Ast.Const (Ast.Cint 1) ]))
+  | "dotimes", Sexp.List [ Sexp.Sym i; n ] :: body ->
+      let lim = gensym "n" in
+      Ast.Let
+        ( [ (i, Ast.Const (Ast.Cint 0)); (lim, expr n) ],
+          [
+            Ast.While
+              ( Ast.Call ("lessp", [ Ast.Var i; Ast.Var lim ]),
+                List.map expr body
+                @ [
+                    Ast.Setq
+                      ( i,
+                        Ast.Call
+                          ("plus2", [ Ast.Var i; Ast.Const (Ast.Cint 1) ]) );
+                  ] );
+          ] )
+  | "dolist", Sexp.List [ Sexp.Sym x; l ] :: body ->
+      let rest = gensym "l" in
+      Ast.Let
+        ( [ (rest, expr l); (x, Ast.nil) ],
+          [
+            Ast.While
+              ( Ast.Call ("pairp", [ Ast.Var rest ]),
+                Ast.Setq (x, Ast.Call ("car", [ Ast.Var rest ]))
+                :: List.map expr body
+                @ [ Ast.Setq (rest, Ast.Call ("cdr", [ Ast.Var rest ])) ] );
+          ] )
+  | "funcall", f :: args -> Ast.Funcall (expr f, List.map expr args)
+  | "funcall", [] -> errorf "funcall expects a function"
+  | ("add1" | "1+"), [ e ] ->
+      Ast.Call ("plus2", [ expr e; Ast.Const (Ast.Cint 1) ])
+  | ("sub1" | "1-"), [ e ] ->
+      Ast.Call ("difference2", [ expr e; Ast.Const (Ast.Cint 1) ])
+  | "minus", [ e ] ->
+      Ast.Call ("difference2", [ Ast.Const (Ast.Cint 0); expr e ])
+  | "-", [ e ] ->
+      Ast.Call ("difference2", [ Ast.Const (Ast.Cint 0); expr e ])
+  | "-", e :: rest ->
+      List.fold_left
+        (fun acc x -> Ast.Call ("difference2", [ acc; expr x ]))
+        (expr e) rest
+  | "-", [] -> errorf "- expects arguments"
+  | "difference", [ a; b ] -> Ast.Call ("difference2", [ expr a; expr b ])
+  | ("zerop" | "onep" | "minusp"), [ e ] ->
+      let cmp, k =
+        match head with
+        | "zerop" -> ("eqn", 0)
+        | "onep" -> ("eqn", 1)
+        | _ -> ("lessp", 0)
+      in
+      Ast.Call (cmp, [ expr e; Ast.Const (Ast.Cint k) ])
+  | ("=" | "/=" | "<" | ">" | "<=" | ">="), [ a; b ] ->
+      let prim =
+        match head with
+        | "=" -> "eqn"
+        | "<" -> "lessp"
+        | ">" -> "greaterp"
+        | "<=" -> "leq"
+        | ">=" -> "geq"
+        | _ -> "neqn"
+      in
+      if prim = "neqn" then
+        Ast.Call ("null", [ Ast.Call ("eqn", [ expr a; expr b ]) ])
+      else Ast.Call (prim, [ expr a; expr b ])
+  | _, args_s -> (
+      match List.assoc_opt head nary_binary with
+      | Some prim -> (
+          match args_s with
+          | [] -> errorf "%s expects arguments" head
+          | [ a ] -> expr a
+          | a :: rest ->
+              List.fold_left
+                (fun acc x -> Ast.Call (prim, [ acc; expr x ]))
+                (expr a) rest)
+      | None -> (
+          match (cxr head, args_s) with
+          | Some middle, [ arg ] ->
+              (* (cadr x) = (car (cdr x)) *)
+              String.fold_right
+                (fun c acc ->
+                  Ast.Call ((if c = 'a' then "car" else "cdr"), [ acc ]))
+                middle (expr arg)
+          | Some _, _ -> errorf "%s expects one argument" head
+          | None, _ -> Ast.Call (head, List.map expr args_s)))
+
+(** A toplevel definition: [(de name (params) body...)]. *)
+let definition (s : Sexp.t) : Ast.def =
+  match s with
+  | Sexp.List (Sexp.Sym "de" :: Sexp.Sym name :: Sexp.List params :: body) ->
+      let param = function
+        | Sexp.Sym p -> p
+        | p -> errorf "bad parameter %s in %s" (Sexp.to_string p) name
+      in
+      let params = List.map param params in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem seen p then errorf "duplicate parameter %s in %s" p name;
+          Hashtbl.replace seen p ())
+        params;
+      { Ast.name; params; body = body_exprs body }
+  | _ -> errorf "expected (de name (params) body...), got %s" (Sexp.to_string s)
+
+(** Parse and expand a whole program: a sequence of [de] forms. *)
+let program src : Ast.def list =
+  let forms = Sexp.parse_all src in
+  List.map definition forms

@@ -1,0 +1,15 @@
+(** Translation from s-expressions to core AST: special forms, the fixed
+    macro set (cond/and/or/when/unless/list/push/pop/dotimes/dolist/...),
+    and desugaring of n-ary arithmetic into the binary primitives the
+    code generator knows. *)
+
+exception Error of string
+
+(** Expand one expression. *)
+val expr : Sexp.t -> Ast.expr
+
+(** Expand a toplevel [(de name (params) body...)] definition. *)
+val definition : Sexp.t -> Ast.def
+
+(** Parse and expand a whole program: a sequence of [de] forms. *)
+val program : string -> Ast.def list

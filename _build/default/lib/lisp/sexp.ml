@@ -1,0 +1,117 @@
+(** S-expression reader for the Lisp dialect.
+
+    Syntax: integers, symbols, proper lists, ['] quote sugar, [;] line
+    comments.  Symbols are case-sensitive.  Strings and dotted pairs are
+    not part of the dialect (PSL programs of the benchmark suite are
+    restructured to avoid them). *)
+
+type t = Int of int | Sym of string | List of t list
+
+exception Parse_error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let is_delim c =
+  match c with
+  | '(' | ')' | '\'' | ';' -> true
+  | c -> c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_int_literal tok =
+  let body, start =
+    if String.length tok > 1 && (tok.[0] = '-' || tok.[0] = '+') then (tok, 1)
+    else (tok, 0)
+  in
+  String.length body > start
+  && String.for_all (fun c -> c >= '0' && c <= '9')
+       (String.sub body start (String.length body - start))
+
+(* Streaming tokenizer over a string. *)
+type lexer = { src : string; mutable pos : int }
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.src then
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\n' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_ws lx
+    | ';' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | _ -> ()
+
+type token = Tlparen | Trparen | Tquote | Tatom of string | Teof
+
+let next_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then Teof
+  else
+    match lx.src.[lx.pos] with
+    | '(' ->
+        lx.pos <- lx.pos + 1;
+        Tlparen
+    | ')' ->
+        lx.pos <- lx.pos + 1;
+        Trparen
+    | '\'' ->
+        lx.pos <- lx.pos + 1;
+        Tquote
+    | _ ->
+        let start = lx.pos in
+        while lx.pos < String.length lx.src && not (is_delim lx.src.[lx.pos]) do
+          lx.pos <- lx.pos + 1
+        done;
+        Tatom (String.sub lx.src start (lx.pos - start))
+
+let atom tok =
+  if is_int_literal tok then Int (int_of_string tok) else Sym tok
+
+let rec parse_one lx =
+  match next_token lx with
+  | Teof -> None
+  | Trparen -> errorf "unexpected ')' at offset %d" lx.pos
+  | Tquote -> (
+      match parse_one lx with
+      | Some e -> Some (List [ Sym "quote"; e ])
+      | None -> errorf "end of input after quote")
+  | Tatom tok -> Some (atom tok)
+  | Tlparen ->
+      let rec elements acc =
+        match next_token lx with
+        | Trparen -> List (List.rev acc)
+        | Teof -> errorf "unterminated list"
+        | Tquote -> (
+            match parse_one lx with
+            | Some e -> elements (List [ Sym "quote"; e ] :: acc)
+            | None -> errorf "end of input after quote")
+        | Tatom tok -> elements (atom tok :: acc)
+        | Tlparen ->
+            lx.pos <- lx.pos - 1;
+            (* re-enter list parsing through parse_one *)
+            (match parse_one lx with
+            | Some e -> elements (e :: acc)
+            | None -> errorf "unterminated list")
+      in
+      Some (elements [])
+
+(** Parse all toplevel forms in a source string. *)
+let parse_all src =
+  let lx = { src; pos = 0 } in
+  let rec loop acc =
+    match parse_one lx with Some e -> loop (e :: acc) | None -> List.rev acc
+  in
+  loop []
+
+(** Parse exactly one form. *)
+let parse src =
+  match parse_all src with
+  | [ e ] -> e
+  | l -> errorf "expected one form, got %d" (List.length l)
+
+let rec pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Sym s -> Fmt.string ppf s
+  | List l -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " ") pp) l
+
+let to_string e = Fmt.str "%a" pp e

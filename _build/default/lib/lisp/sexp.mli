@@ -1,0 +1,16 @@
+(** S-expression reader for the Lisp dialect: integers, symbols, proper
+    lists, ['] quote sugar, [;] line comments.  Strings and dotted pairs
+    are not part of the dialect. *)
+
+type t = Int of int | Sym of string | List of t list
+
+exception Parse_error of string
+
+(** Parse all toplevel forms in a source string. *)
+val parse_all : string -> t list
+
+(** Parse exactly one form. *)
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

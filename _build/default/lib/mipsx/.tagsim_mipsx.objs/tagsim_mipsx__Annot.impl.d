@@ -1,0 +1,1 @@
+lib/mipsx/annot.ml: Fmt

@@ -1,0 +1,1 @@
+lib/mipsx/insn.ml: Fmt Printf Reg

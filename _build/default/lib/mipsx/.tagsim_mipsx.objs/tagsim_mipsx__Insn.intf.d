@@ -1,0 +1,1 @@
+lib/mipsx/insn.mli: Format Reg

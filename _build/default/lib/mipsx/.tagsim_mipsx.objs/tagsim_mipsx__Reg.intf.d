@@ -1,0 +1,1 @@
+lib/mipsx/reg.mli: Format

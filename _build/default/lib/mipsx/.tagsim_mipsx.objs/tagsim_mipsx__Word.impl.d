@@ -1,0 +1,1 @@
+lib/mipsx/word.ml: Fmt

@@ -1,0 +1,80 @@
+(** Cycle-classification annotations.
+
+    Every instruction emitted by the compiler or the runtime carries an
+    annotation saying what kind of work it performs.  The simulator
+    accumulates executed cycles per annotation; the analysis layer turns the
+    accumulated counters into the paper's Tables and Figures.
+
+    The categories follow Section 3 of the paper:
+    - {e insertion}: building a tagged item from a datum and a tag,
+    - {e removal}: masking the tag out before using the data part,
+    - {e extraction}: isolating the tag for a comparison,
+    - {e checking}: the comparison-and-branch part of a type check,
+    - {e generic arithmetic}: dispatch work beyond the inline integer test.
+
+    The [source] of extractions and checks distinguishes the Table 1 columns
+    (arith / vector / list) and the user-specified type predicates of
+    Section 6 category three.  The [checking] flag marks instructions that
+    exist only because full run-time checking is enabled; it separates the
+    light-grey and dark-grey components of Figure 1. *)
+
+type source =
+  | List_op (* car, cdr, rplaca, ... *)
+  | Vector_op (* getv, putv: tag, index and bounds checks *)
+  | Arith_op (* integer tests and overflow tests in arithmetic *)
+  | Symbol_op (* symbol accesses (value cells, property lists) *)
+  | User_pred (* atom, pairp, numberp, eq-on-type, ... in the source *)
+  | Other_op
+
+type kind =
+  | Plain
+  | Insert
+  | Remove
+  | Extract of source
+  | Check of source
+  | Garith (* generic-arithmetic dispatch / fixup *)
+  | Alloc (* inline allocation sequence *)
+  | Gc_work (* inside the copying collector *)
+  | Slot_fill (* no-op placed in an unfilled delay slot *)
+
+type t = { kind : kind; checking : bool }
+
+let plain = { kind = Plain; checking = false }
+let make ?(checking = false) kind = { kind; checking }
+
+let source_name = function
+  | List_op -> "list"
+  | Vector_op -> "vector"
+  | Arith_op -> "arith"
+  | Symbol_op -> "symbol"
+  | User_pred -> "user"
+  | Other_op -> "other"
+
+let kind_name = function
+  | Plain -> "plain"
+  | Insert -> "insert"
+  | Remove -> "remove"
+  | Extract s -> "extract." ^ source_name s
+  | Check s -> "check." ^ source_name s
+  | Garith -> "garith"
+  | Alloc -> "alloc"
+  | Gc_work -> "gc"
+  | Slot_fill -> "slot"
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s" (kind_name t.kind) (if t.checking then "+rtc" else "")
+
+(* Dense indexing used by the statistics module. *)
+
+let source_index = function
+  | List_op -> 0
+  | Vector_op -> 1
+  | Arith_op -> 2
+  | Symbol_op -> 3
+  | User_pred -> 4
+  | Other_op -> 5
+
+let n_sources = 6
+
+let all_sources =
+  [ List_op; Vector_op; Arith_op; Symbol_op; User_pred; Other_op ]

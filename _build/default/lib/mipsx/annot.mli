@@ -1,0 +1,41 @@
+(** Cycle-classification annotations: every emitted instruction carries
+    one, and the simulator accumulates executed cycles per annotation.
+    The categories follow Section 3 of the paper; see the implementation
+    header for the full story. *)
+
+(** Which kind of operation a tag extraction or check belongs to — the
+    Table 1 columns plus source-level type predicates. *)
+type source =
+  | List_op (* car, cdr, rplaca, ... *)
+  | Vector_op (* getv, putv: tag, index and bounds checks *)
+  | Arith_op (* integer tests and overflow tests in arithmetic *)
+  | Symbol_op (* symbol accesses (value cells, property lists) *)
+  | User_pred (* atom, pairp, numberp, ... in the source *)
+  | Other_op
+
+type kind =
+  | Plain
+  | Insert
+  | Remove
+  | Extract of source
+  | Check of source
+  | Garith (* generic-arithmetic dispatch / fixup *)
+  | Alloc (* inline allocation sequence *)
+  | Gc_work (* inside the copying collector *)
+  | Slot_fill (* no-op placed in an unfilled delay slot *)
+
+type t = { kind : kind; checking : bool }
+(** [checking] marks instructions that exist only because full run-time
+    checking is enabled (the dark-grey component of Figure 1). *)
+
+val plain : t
+val make : ?checking:bool -> kind -> t
+val source_name : source -> string
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Dense indexing for the statistics module} *)
+
+val source_index : source -> int
+val n_sources : int
+val all_sources : source list

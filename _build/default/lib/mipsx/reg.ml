@@ -1,0 +1,99 @@
+(** Machine registers and the software register convention used by the
+    Lisp compiler and runtime.
+
+    The convention mirrors the flavour of the PSL-on-MIPS-X system described
+    in the paper: a dedicated mask register for tag removal (Section 3.2),
+    a heap pointer and heap limit kept in registers for inline allocation,
+    and a symbol-table base register for fast access to global value cells. *)
+
+type t = int
+
+let count = 32
+
+(* Hardware-defined. *)
+let zero = 0
+
+(* Dedicated software convention. *)
+let rmask = 1 (* data-part mask for tag removal, kept loaded at all times *)
+let v0 = 2 (* function result *)
+let v1 = 3 (* secondary result / codegen scratch *)
+
+let a0 = 4 (* first four arguments *)
+let a1 = 5
+let a2 = 6
+let a3 = 7
+
+(* Expression temporaries t0..t8 = r8..r16, allocated stack-wise. *)
+let t0 = 8
+let temp i =
+  if i < 0 || i > 8 then invalid_arg "Reg.temp";
+  t0 + i
+
+let n_temps = 9
+let t1 = temp 1
+let t2 = temp 2
+let t3 = temp 3
+let t4 = temp 4
+let t5 = temp 5
+let t6 = temp 6
+let t7 = temp 7
+let t8 = temp 8
+
+let rnil = 17 (* the nil item, kept loaded at all times (PSL convention) *)
+
+(* Runtime-internal scratch (trap handlers, GC, generic-arith fallback). *)
+let k0 = 18
+let k1 = 19
+let k2 = 20
+let k3 = 21
+let k4 = 22
+let k5 = 23
+
+let tr0 = 24 (* trap argument 0: first operand of a trapped instruction *)
+let tr1 = 25 (* trap argument 1: second operand of a trapped instruction *)
+let stb = 26 (* symbol table base *)
+let hl = 27 (* heap limit *)
+let hp = 28 (* heap (free) pointer *)
+let sp = 29 (* stack pointer, grows downwards *)
+let epc = 30 (* trap return address (written by the trap mechanism) *)
+let ra = 31 (* return address *)
+
+let name r =
+  match r with
+  | 0 -> "zero"
+  | 1 -> "rmask"
+  | 2 -> "v0"
+  | 3 -> "v1"
+  | 4 -> "a0"
+  | 5 -> "a1"
+  | 6 -> "a2"
+  | 7 -> "a3"
+  | 18 -> "k0"
+  | 19 -> "k1"
+  | 20 -> "k2"
+  | 21 -> "k3"
+  | 22 -> "k4"
+  | 23 -> "k5"
+  | 24 -> "tr0"
+  | 25 -> "tr1"
+  | 26 -> "stb"
+  | 27 -> "hl"
+  | 28 -> "hp"
+  | 29 -> "sp"
+  | 30 -> "epc"
+  | 31 -> "ra"
+  | 17 -> "rnil"
+  | r when r >= 8 && r <= 16 -> Printf.sprintf "t%d" (r - 8)
+  | r -> Printf.sprintf "r%d" r
+
+let pp ppf r = Fmt.string ppf (name r)
+
+(** Registers holding tagged Lisp values at any instruction boundary; the
+    garbage collector treats these as roots (together with the stack). *)
+let gc_roots =
+  [ a0; a1; a2; a3 ] @ List.init n_temps temp @ [ rnil; k5; tr0; tr1 ]
+(* k0..k4 are GC-internal scratch and deliberately not roots; k5 is
+   preserved so that it can hold a preshifted tag constant (Section 3.1
+   ablation).  v0/v1 are transient scratch, never live across a
+   collection, and may hold non-item values, so they must not be
+   scanned. *)

@@ -1,0 +1,87 @@
+(** Machine registers and the software register convention used by the
+    Lisp compiler and runtime (see the implementation for the full
+    convention table). *)
+
+type t = int
+
+val count : int
+
+(** {1 Hardware-defined} *)
+
+val zero : t
+
+(** {1 Software convention} *)
+
+val rmask : t
+(** data-part mask for tag removal, kept loaded at all times *)
+
+val v0 : t
+(** function result; also transient scratch, never live across a
+    collection point *)
+
+val v1 : t
+(** transient scratch, never live across a collection point *)
+
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+
+val t0 : t
+(** expression temporaries t0..t8 = r8..r16; [temp i] gives the i-th *)
+
+val temp : int -> t
+val n_temps : int
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val t8 : t
+
+val rnil : t
+(** the nil item, kept loaded at all times (PSL convention) *)
+
+val k0 : t
+(** k0..k4: runtime-internal scratch (collector, trap handlers) *)
+
+val k1 : t
+val k2 : t
+val k3 : t
+val k4 : t
+
+val k5 : t
+(** preserved across collections; may hold a preshifted tag constant *)
+
+val tr0 : t
+(** trap argument 0: first operand of a trapped instruction *)
+
+val tr1 : t
+val stb : t
+(** symbol table base *)
+
+val hl : t
+(** heap limit *)
+
+val hp : t
+(** heap (free) pointer *)
+
+val sp : t
+(** stack pointer, grows downwards *)
+
+val epc : t
+(** trap return address (written by the trap mechanism) *)
+
+val ra : t
+(** return address *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Registers holding tagged Lisp values at any instruction boundary; the
+    garbage collector treats these as roots (together with the stack).
+    [v0]/[v1] are deliberately excluded: they are transient scratch that
+    may hold non-item values and are never live across a collection. *)
+val gc_roots : t list

@@ -1,0 +1,51 @@
+(** 32-bit machine words, stored as non-negative OCaml ints in [0, 2^32). *)
+
+let bits = 32
+let mask = 0xFFFFFFFF
+
+(** Truncate an OCaml int to an unsigned 32-bit word. *)
+let of_int n = n land mask
+
+(** Interpret a word as a signed 32-bit two's-complement integer. *)
+let to_signed w =
+  if w land 0x80000000 <> 0 then w - 0x100000000 else w
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = (a * b) land mask
+
+(** Signed division truncating towards zero, as on MIPS-X.
+    Division by zero is a machine-level error handled by the caller. *)
+let div a b = of_int (to_signed a / to_signed b)
+
+let rem a b = of_int (to_signed a mod to_signed b)
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognor a b = lnot (a lor b) land mask
+
+(** Shift amounts are taken modulo 32, as on most RISC hardware. *)
+let sll a n = (a lsl (n land 31)) land mask
+
+let srl a n = a lsr (n land 31)
+let sra a n = of_int (to_signed a asr (n land 31))
+let lt_signed a b = to_signed a < to_signed b
+let lt_unsigned a b = a < b
+let equal a b = a = b
+
+(** [field ~shift ~width w] extracts an unsigned bit-field from [w]. *)
+let field ~shift ~width w = (w lsr shift) land ((1 lsl width) - 1)
+
+(** True when [n] fits in a signed immediate of [width] bits
+    (MIPS-X immediates are 17 bits wide). *)
+let fits_simm ~width n =
+  let half = 1 lsl (width - 1) in
+  n >= -half && n < half
+
+(** Cycles needed to materialise constant [n]: one for a 17-bit signed
+    immediate or a [lui]-style upper-half constant (e.g. a tag value shifted
+    to the top of the word), two for anything else. *)
+let imm_cycles n =
+  if fits_simm ~width:17 n || n land 0xFFFF = 0 then 1 else 2
+
+let pp ppf w = Fmt.pf ppf "0x%08x" w

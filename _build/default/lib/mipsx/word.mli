@@ -1,0 +1,48 @@
+(** 32-bit machine words, stored as non-negative OCaml ints in [0, 2^32). *)
+
+val bits : int
+val mask : int
+
+(** Truncate an OCaml int to an unsigned 32-bit word. *)
+val of_int : int -> int
+
+(** Interpret a word as a signed 32-bit two's-complement integer. *)
+val to_signed : int -> int
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+(** Signed division truncating towards zero, as on MIPS-X.  Division by
+    zero is a machine-level error handled by the caller. *)
+val div : int -> int -> int
+
+(** Signed remainder; the sign follows the dividend. *)
+val rem : int -> int -> int
+
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+val lognor : int -> int -> int
+
+(** Shift amounts are taken modulo 32, as on most RISC hardware. *)
+val sll : int -> int -> int
+
+val srl : int -> int -> int
+val sra : int -> int -> int
+val lt_signed : int -> int -> bool
+val lt_unsigned : int -> int -> bool
+val equal : int -> int -> bool
+
+(** [field ~shift ~width w] extracts an unsigned bit-field from [w]. *)
+val field : shift:int -> width:int -> int -> int
+
+(** True when the argument fits in a signed immediate of [width] bits
+    (MIPS-X immediates are 17 bits wide). *)
+val fits_simm : width:int -> int -> bool
+
+(** Cycles needed to materialise a constant: one for a 17-bit signed
+    immediate or a [lui]-style upper-half constant, two otherwise. *)
+val imm_cycles : int -> int
+
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,1 @@
+lib/programs/deduce.ml:

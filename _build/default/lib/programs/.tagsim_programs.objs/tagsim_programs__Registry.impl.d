@@ -1,0 +1,1 @@
+lib/programs/registry.ml: Boyer Brow Comp Deduce Frl Inter List Opt Rat Tagsim_runtime Trav

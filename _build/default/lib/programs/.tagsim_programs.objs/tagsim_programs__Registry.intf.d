@@ -1,0 +1,1 @@
+lib/programs/registry.mli: Tagsim_runtime

@@ -1,0 +1,88 @@
+(** [brow]: a short version of the browse benchmark (Gabriel) — creates
+    an AI-like database of units (symbols with property lists of pattern
+    "sentences") and browses it by matching wildcard patterns against
+    every unit's properties.  List operations dominate, as in Table 1. *)
+
+let source =
+  {lisp|
+; ---- A little deterministic pseudo-random generator. ----
+
+(de rnd (n)
+  (setq seed (remainder (+ (* seed 137) 59) 9973))
+  (remainder seed n))
+
+; ---- The pattern matcher: ? matches one element, * any segment. ----
+
+(de bmatch (pat dat)
+  (cond ((null pat) (null dat))
+        ((eq (car pat) '?)
+         (and (pairp dat) (bmatch (cdr pat) (cdr dat))))
+        ((eq (car pat) '*)
+         (or (bmatch (cdr pat) dat)
+             (and (pairp dat) (bmatch pat (cdr dat)))))
+        ((atom (car pat))
+         (and (pairp dat)
+              (eq (car pat) (car dat))
+              (bmatch (cdr pat) (cdr dat))))
+        (t (and (pairp dat)
+                (pairp (car dat))
+                (bmatch (car pat) (car dat))
+                (bmatch (cdr pat) (cdr dat))))))
+
+; ---- Database creation. ----
+
+(de units ()
+  '(u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12 u13 u14 u15))
+(de vocab () '(a b c d e f g k))
+
+(de make-sentence ()
+  (let ((len (+ 3 (rnd 3))) (s nil))
+    (dotimes (i len)
+      (push (nth (vocab) (rnd 8)) s))
+    s))
+
+(de init-units ()
+  (dolist (u (units))
+    (setplist u nil)
+    (let ((props nil))
+      (dotimes (i 6)
+        (push (make-sentence) props))
+      (put u 'props props))))
+
+; ---- Browsing. ----
+
+(de queries ()
+  '((a * b) (* c *) (? ? *) (k *) (* d) (a ? * e) (* f ? *) (g * g)
+    (* a * b *) (? * k) (e e *) (* ? g)))
+
+(de browse-unit (u)
+  (let ((n 0))
+    (dolist (p (get u 'props))
+      (dolist (q (queries))
+        (when (bmatch q p) (incf n))))
+    n))
+
+; Rotate a list: the "browsing" reordering between rounds.
+(de rotate (l)
+  (if (null l) nil (append (cdr l) (list (car l)))))
+
+(de main ()
+  (setq seed 74755)
+  (init-units)
+  (let ((total 0) (us (units)))
+    (dotimes (round 12)
+      (dolist (u us)
+        (setq total (+ total (browse-unit u))))
+      (setq us (rotate us))
+      ; refresh one unit's properties each round
+      (let ((u (nth us (rnd 15))))
+        (setplist u nil)
+        (let ((props nil))
+          (dotimes (i 6)
+            (push (make-sentence) props))
+          (put u 'props props))))
+    total))
+|lisp}
+
+(* Deterministic (fixed seed); cross-checked across every configuration. *)
+let expected = "2599"

@@ -1,0 +1,144 @@
+(** [comp]: the first pass of the front end of a Lisp compiler — our
+    stand-in compiles a small expression language to a stack machine:
+    constant folding, lexical-address resolution, and code-list
+    generation.  Like the PSL pass the paper measured, it is almost
+    entirely list and symbol manipulation. *)
+
+let source =
+  {lisp|
+; ---- Constant folding. ----
+
+(de all-numbers (l)
+  (cond ((null l) t)
+        ((numberp (car l)) (all-numbers (cdr l)))
+        (t nil)))
+
+(de arith-eval (op args)
+  (let ((a (car args)) (b (cadr args)))
+    (cond ((eq op 'add) (+ a b))
+          ((eq op 'sub) (- a b))
+          ((eq op 'mul) (* a b))
+          (t 0))))
+
+(de cfold (e)
+  (cond ((atom e) e)
+        ((eq (car e) 'quote) e)
+        (t (let ((args (cfold-args (cdr e))))
+             (if (and (memq (car e) '(add sub mul)) (all-numbers args))
+                 (progn (setq fold-count (+ fold-count 1))
+                        (arith-eval (car e) args))
+               (cons (car e) args))))))
+
+(de cfold-args (l)
+  (if (null l) nil (cons (cfold (car l)) (cfold-args (cdr l)))))
+
+; ---- Code generation (code lists are built in reverse). ----
+
+(de lookup (v env n)
+  (cond ((null env) nil)
+        ((eq (car env) v) n)
+        (t (lookup v (cdr env) (+ n 1)))))
+
+(de comp-expr (e env)
+  (cond ((numberp e) (list (list 'pushc e)))
+        ((symbolp e)
+         (let ((i (lookup e env 0)))
+           (if i (list (list 'load i)) (list (list 'gload e)))))
+        ((eq (car e) 'quote) (list (list 'pushc (cadr e))))
+        ((eq (car e) 'if)
+         (let ((c (comp-expr (cadr e) env)))
+           (let ((a (comp-expr (caddr e) env)))
+             (let ((b (comp-expr (cadddr e) env)))
+               (let ((code (cons (list 'brf (+ (length a) 1)) c)))
+                 (setq code (append a code))
+                 (setq code (cons (list 'jmp (length b)) code))
+                 (append b code))))))
+        ((memq (car e) '(add sub mul less eqv carop cdrop consop))
+         (comp-op (car e) (cdr e) env))
+        (t (comp-call e env))))
+
+(de comp-op (op args env)
+  (let ((code nil))
+    (dolist (a args)
+      (setq code (append (comp-expr a env) code)))
+    (cons (list 'op op) code)))
+
+(de comp-call (e env)
+  (let ((code nil) (n 0))
+    (dolist (a (cdr e))
+      (setq code (append (comp-expr a env) code))
+      (incf n))
+    (cons (list 'call (car e) n) code)))
+
+; d = (def name (params) body)
+(de comp-defn (d)
+  (let ((body (cfold (cadddr d))))
+    (let ((code (comp-expr body (caddr d))))
+      (cons (list 'ret (length (caddr d))) code))))
+
+; ---- A second pass: verify stack balance and find the maximum stack
+;      depth of a (reversed) code list. ----
+
+(de stack-effect (instr)
+  (let ((op (car instr)))
+    (cond ((memq op '(pushc load gload)) 1)
+          ((eq op 'op) -1)          ; two operands -> one result
+          ((eq op 'brf) -1)
+          ((eq op 'jmp) 0)
+          ((eq op 'call) (- 1 (caddr instr)))
+          ((eq op 'ret) -1)
+          (t 0))))
+
+(de max-depth (code)
+  ; code is reversed: walk it back-to-front
+  (let ((depth 0) (deepest 0))
+    (dolist (instr (reverse code))
+      (setq depth (+ depth (stack-effect instr)))
+      (when (greaterp depth deepest) (setq deepest depth)))
+    deepest))
+
+; ---- The source programs fed to the pass. ----
+
+(de testprogs ()
+  '((def fib (n)
+      (if (less n 2) n (add (fib (sub n 1)) (fib (sub n 2)))))
+    (def fact (n)
+      (if (less n 1) 1 (mul n (fact (sub n 1)))))
+    (def dist2 (x y)
+      (add (mul x x) (mul y y)))
+    (def area (r)
+      (mul (mul 3 (add 7 7)) (mul r r)))
+    (def sumlist (l acc)
+      (if (eqv l (quote nil)) acc
+        (sumlist (cdrop l) (add acc (carop l)))))
+    (def poly (x)
+      (add (mul (add 2 3) (mul x x)) (add (mul (sub 9 2) x) (mul 4 5))))
+    (def choose (a b c)
+      (if (less a b) (if (less b c) c (add b global-bias)) (sub a c)))
+    (def hyp2 (a b)
+      (add (mul a a) (mul b b)))
+    (def scale (x)
+      (mul (add 10 (mul 2 16)) (sub x (sub 8 3))))
+    (def treesum (n)
+      (if (less n 1) 0
+        (add n (add (treesum (sub n 1)) (treesum (sub n 2))))))
+    (def clamp (x lo hi)
+      (if (less x lo) lo (if (less hi x) hi x)))
+    (def maxdepth-probe (p q r s)
+      (add (mul p q) (mul (add r 1) (sub s 2))))))
+
+(de main ()
+  (setq fold-count 0)
+  (let ((instrs 0) (defs 0) (depths 0))
+    (dotimes (round 20)
+      (dolist (d (testprogs))
+        (let ((code (comp-defn d)))
+          (setq instrs (+ instrs (length code)))
+          (setq depths (+ depths (max-depth code))))
+        (incf defs)))
+    (list instrs fold-count defs depths)))
+|lisp}
+
+(* Deterministic: instruction count, folds performed, definitions seen;
+   identical across all configurations. *)
+let expected = "(2900 160 240 840)"

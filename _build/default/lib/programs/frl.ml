@@ -1,0 +1,136 @@
+(** [frl]: a simple inventory system using the frame representation
+    language.  Frames are symbols whose slots live on their property
+    lists; [ako] links give inheritance, so slot lookup climbs the frame
+    hierarchy — symbol and list operations throughout, as in the paper's
+    FRL workload. *)
+
+let source =
+  {lisp|
+; ---- A miniature FRL: frames are symbols, slots are properties,
+;      values are lists; ako links give inheritance. ----
+
+(de fput (fr slot val)
+  (let ((vs (get fr slot)))
+    (unless (member val vs)
+      (put fr slot (cons val vs))))
+  val)
+
+(de fremove (fr slot val)
+  (put fr slot (delq val (get fr slot)))
+  val)
+
+; Local values only.
+(de fget-local (fr slot) (get fr slot))
+
+; Values with inheritance through (possibly several) ako parents.
+(de fget (fr slot)
+  (let ((vs (get fr slot)))
+    (if vs vs (fget-parents (get fr 'ako) slot))))
+
+(de fget-parents (parents slot)
+  (if (null parents) nil
+    (let ((vs (fget (car parents) slot)))
+      (if vs vs (fget-parents (cdr parents) slot)))))
+
+; First inherited value, defaulting to 0 for numeric slots.
+(de fget1 (fr slot)
+  (let ((vs (fget fr slot)))
+    (if vs (car vs) 0)))
+
+; All frames that are (transitively) instances of a category.
+(de instancesp (fr cat)
+  (cond ((eq fr cat) t)
+        (t (instances-parents (get fr 'ako) cat))))
+
+(de instances-parents (parents cat)
+  (cond ((null parents) nil)
+        ((instancesp (car parents) cat) t)
+        (t (instances-parents (cdr parents) cat))))
+
+; ---- The inventory. ----
+
+(de setup ()
+  ; category hierarchy
+  (fput 'hardware 'ako 'thing)
+  (fput 'tool 'ako 'hardware)
+  (fput 'powertool 'ako 'tool)
+  (fput 'handtool 'ako 'tool)
+  (fput 'fastener 'ako 'hardware)
+  ; category defaults
+  (fput 'thing 'discount 0)
+  (fput 'tool 'discount 5)
+  (fput 'powertool 'discount 10)
+  (fput 'fastener 'reorder 100)
+  (fput 'tool 'reorder 3)
+  ; suppliers, inherited through the category hierarchy
+  (fput 'hardware 'supplier 'acme)
+  (fput 'powertool 'supplier 'maketool)
+  (fput 'fastener 'supplier 'boltco)
+  ; items
+  (dolist (d '((drill powertool 120 2) (saw powertool 90 4)
+               (hammer handtool 15 12) (wrench handtool 22 7)
+               (pliers handtool 18 0) (screw fastener 1 500)
+               (nail fastener 1 80) (bolt fastener 2 40)
+               (lathe powertool 800 1) (file handtool 9 25)
+               (sander powertool 150 3) (router powertool 210 2)
+               (chisel handtool 14 9) (rasp handtool 11 16)
+               (rivet fastener 1 120) (washer fastener 1 60)
+               (anvil handtool 260 1) (clamp handtool 17 22)))
+    (let ((item (car d)))
+      (fput item 'ako (cadr d))
+      (fput item 'price (caddr d))
+      (fput item 'stock (cadddr d)))))
+
+(de items ()
+  '(drill saw hammer wrench pliers screw nail bolt lathe file
+    sander router chisel rasp rivet washer anvil clamp))
+
+; Items sourced from a given supplier (through inheritance).
+(de from-supplier (sup)
+  (let ((r nil))
+    (dolist (item (items))
+      (when (memq sup (fget item 'supplier)) (push item r)))
+    (reverse r)))
+
+; Total stock value, applying the inherited discount percentage.
+(de stock-value ()
+  (let ((total 0))
+    (dolist (item (items))
+      (let ((price (fget1 item 'price))
+            (n (fget1 item 'stock))
+            (disc (fget1 item 'discount)))
+        (setq total (+ total (quotient (* (* price n) (- 100 disc)) 100)))))
+    total))
+
+; Items whose stock is below their (inherited) reorder level.
+(de to-reorder ()
+  (let ((r nil))
+    (dolist (item (items))
+      (when (lessp (fget1 item 'stock) (fget1 item 'reorder))
+        (push item r)))
+    (reverse r)))
+
+; Count of items under a given category.
+(de count-in (cat)
+  (let ((n 0))
+    (dolist (item (items))
+      (when (instancesp item cat) (incf n)))
+    n))
+
+(de main ()
+  (setup)
+  (let ((value 0) (reorders 0) (tools 0) (acme 0))
+    (dotimes (round 30)
+      (setq value (+ value (quotient (stock-value) 100)))
+      (setq reorders (+ reorders (length (to-reorder))))
+      (setq tools (+ tools (count-in 'tool)))
+      (setq acme (+ acme (length (from-supplier 'acme))))
+      ; simulate a sale and a restock so the plists keep churning
+      (let ((s (fget1 'hammer 'stock)))
+        (fremove 'hammer 'stock s)
+        (fput 'hammer 'stock (if (greaterp s 4) (- s 1) 12))))
+    (list value reorders tools acme (fget1 'hammer 'stock))))
+|lisp}
+
+(* Deterministic; cross-checked across every configuration. *)
+let expected = "(1261 240 390 240 9)"

@@ -1,0 +1,76 @@
+(** [inter]: a simple interpreter for a subset of LISP, used to calculate
+    a Fibonacci number and to sort a list of numbers (adapted, like the
+    paper's version, from "Lisp in Lisp").
+
+    The interpreted language supports numbers, symbols, [quote], [if] and
+    function application; user functions are stored under the [defn]
+    property of their name.  Environments are association lists, so the
+    workload is dominated by list operations — matching the paper's
+    description of [inter]. *)
+
+let source =
+  {lisp|
+; ---- The interpreter. ----
+
+(de ev (x env)
+  (cond ((numberp x) x)
+        ((symbolp x) (cdr (assq x env)))
+        ((eq (car x) 'quote) (cadr x))
+        ((eq (car x) 'if)
+         (if (ev (cadr x) env)
+             (ev (caddr x) env)
+           (ev (cadddr x) env)))
+        (t (evapply (car x) (evlis (cdr x) env)))))
+
+(de evlis (l env)
+  (if (null l) nil
+    (cons (ev (car l) env) (evlis (cdr l) env))))
+
+(de bindargs (params args)
+  (if (null params) nil
+    (cons (cons (car params) (car args))
+          (bindargs (cdr params) (cdr args)))))
+
+(de evapply (fn args)
+  (cond ((eq fn 'car) (car (car args)))
+        ((eq fn 'cdr) (cdr (car args)))
+        ((eq fn 'cons) (cons (car args) (cadr args)))
+        ((eq fn 'plus) (+ (car args) (cadr args)))
+        ((eq fn 'diff) (- (car args) (cadr args)))
+        ((eq fn 'lessp) (lessp (car args) (cadr args)))
+        ((eq fn 'eq) (eq (car args) (cadr args)))
+        ((eq fn 'null) (null (car args)))
+        ((eq fn 'atom) (atom (car args)))
+        (t (let ((defn (get fn 'defn)))
+             (ev (cadr defn) (bindargs (car defn) args))))))
+
+; ---- The interpreted programs. ----
+
+(de setup ()
+  (put 'fib 'defn
+       '((n) (if (lessp n 2) n
+               (plus (fib (diff n 1)) (fib (diff n 2))))))
+  (put 'insert 'defn
+       '((x l) (if (null l) (cons x (quote nil))
+                 (if (lessp x (car l)) (cons x l)
+                   (cons (car l) (insert x (cdr l)))))))
+  (put 'isort 'defn
+       '((l) (if (null l) (quote nil)
+               (insert (car l) (isort (cdr l))))))
+  (put 'len 'defn
+       '((l) (if (null l) 0 (plus 1 (len (cdr l))))))
+  (put 'appnd 'defn
+       '((a b) (if (null a) b (cons (car a) (appnd (cdr a) b)))))
+  (put 'flat 'defn
+       '((x) (if (null x) (quote nil)
+               (if (atom x) (cons x (quote nil))
+                 (appnd (flat (car x)) (flat (cdr x))))))))
+
+(de main ()
+  (setup)
+  (list (ev '(fib 13) nil)
+        (ev '(isort (quote (9 5 1 8 4 7 2 10 3 6))) nil)
+        (ev '(len (flat (quote ((1 2) (3 (4 5)) (((6))) 7)))) nil)))
+|lisp}
+
+let expected = "(233 (1 2 3 4 5 6 7 8 9 10) 7)"

@@ -1,0 +1,109 @@
+(** [opt]: the optimizer pass added to the compiler.  The paper notes "it
+    uses lists, and vectors", and Table 1 shows a substantial
+    vector-checking component — so this pass keeps its code sequences in
+    vectors: a peephole pass copies between two instruction vectors until
+    a fixpoint, and a register-usage histogram lives in a third vector. *)
+
+let source =
+  {lisp|
+; Fill a vector from a list; returns the element count.
+(de fill (v l)
+  (let ((i 0))
+    (dolist (x l) (putv v i x) (incf i))
+    i))
+
+; One peephole pass: copy v[0..n) to w, applying
+;   (pushc x) (pop)            =>  (nothing)
+;   (pushc a) (pushc b) (op add) => (pushc a+b)
+;   (pushc a) (pushc b) (op mul) => (pushc a*b)
+;   (jmp 0)                    =>  (nothing)
+;   (load i) (load i)          =>  (load i) (dup)
+; Returns (new-count . changed).
+(de peephole (v n w)
+  (let ((i 0) (j 0) (changed nil))
+    (while (lessp i n)
+      ; fetch the three-instruction window once per step
+      (let ((i1 (+ i 1)))
+        (let ((a (getv v i))
+              (b (if (lessp i1 n) (getv v i1) nil))
+              (c (if (lessp (+ i 2) n) (getv v (+ i 2)) nil)))
+          (cond ((and b (eq (car a) 'pushc) (eq (car b) 'pop))
+                 (setq i (+ i 2))
+                 (setq changed t))
+                ((and c (eq (car a) 'pushc) (eq (car b) 'pushc)
+                      (eq (car c) 'op) (memq (cadr c) '(add mul)))
+                 (putv w j
+                       (list 'pushc
+                             (if (eq (cadr c) 'add)
+                                 (+ (cadr a) (cadr b))
+                               (* (cadr a) (cadr b)))))
+                 (incf j)
+                 (setq i (+ i 3))
+                 (setq changed t))
+                ((and (eq (car a) 'jmp) (zerop (cadr a)))
+                 (incf i)
+                 (setq changed t))
+                ((and b (eq (car a) 'load) (eq (car b) 'load)
+                      (eqn (cadr a) (cadr b)))
+                 (putv w j a)
+                 (putv w (+ j 1) '(dup))
+                 (setq j (+ j 2))
+                 (setq i (+ i 2))
+                 (setq changed t))
+                (t (putv w j a)
+                   (incf j)
+                   (incf i))))))
+    (cons j changed)))
+
+; Iterate the peephole pass to a fixpoint; returns the final length.
+(de optimize (code)
+  (let ((v (mkvect 128)) (w (mkvect 128)))
+    (let ((n (fill v code)) (go t))
+      (while go
+        (let ((r (peephole v n w)))
+          (setq n (car r))
+          (setq go (cdr r))
+          (let ((tmpv v))
+            (setq v w)
+            (setq w tmpv))))
+      n)))
+
+; Register-usage histogram, kept in a vector.
+(de usage (code)
+  (let ((h (mkvect 16)) (s 0))
+    (dotimes (i 16) (putv h i 0))
+    (dolist (x code)
+      (when (eq (car x) 'load)
+        (putv h (cadr x) (+ (getv h (cadr x)) 1))))
+    (dotimes (i 16)
+      (setq s (+ s (* (+ i 1) (getv h i)))))
+    s))
+
+(de testcode ()
+  '(((pushc 1) (pushc 2) (op add) (pushc 5) (pop) (load 0) (load 0)
+     (op mul) (jmp 0) (pushc 3) (pushc 4) (op mul) (op add) (ret 1))
+    ((load 1) (load 1) (load 2) (op add) (pushc 7) (pushc 0) (pop)
+     (pushc 2) (pushc 8) (op add) (op mul) (gload x) (op add) (ret 2))
+    ((pushc 10) (pushc 20) (op add) (pushc 30) (op add) (pushc 40)
+     (op add) (jmp 0) (load 3) (load 3) (load 3) (op add) (ret 1))
+    ((load 0) (pushc 6) (pushc 7) (op mul) (op add) (load 4) (load 4)
+     (pushc 0) (pop) (op less) (brf 2) (load 5) (ret 3))
+    ((pushc 2) (pushc 3) (op mul) (pushc 4) (pushc 5) (op mul) (op add)
+     (pushc 1) (pop) (jmp 0) (load 2) (load 2) (op add) (ret 0))
+    ((load 7) (pushc 100) (pushc 28) (op add) (op mul) (load 7) (load 7)
+     (op less) (brf 3) (pushc 0) (pop) (gload y) (op add) (jmp 0) (ret 2))
+    ((pushc 6) (pushc 6) (op mul) (pushc 8) (pushc 9) (op add) (op mul)
+     (load 1) (load 1) (load 1) (op add) (op add) (jmp 4) (pushc 3)
+     (pop) (ret 1))))
+
+(de main ()
+  (let ((tot 0) (use 0))
+    (dotimes (round 25)
+      (dolist (p (testcode))
+        (setq tot (+ tot (optimize p)))
+        (setq use (+ use (usage p)))))
+    (list tot use)))
+|lisp}
+
+(* Deterministic; cross-checked across every configuration. *)
+let expected = "(1325 1850)"

@@ -1,0 +1,121 @@
+(** [rat]: a rational function evaluator, after the one that comes with
+    the PSL system.  Rationals are normalised pairs (numerator .
+    denominator); polynomials are coefficient lists evaluated by Horner's
+    rule; rational functions are ratios of polynomials.  This is the most
+    computation-intensive program of the set (the paper reports 8% of its
+    time in generic arithmetic). *)
+
+let source =
+  {lisp|
+; ---- Rational arithmetic on normalised pairs. ----
+
+(de mkrat (n d)
+  (when (zerop d) (error))
+  (when (lessp d 0) (setq n (- n)) (setq d (- d)))
+  (let ((g (gcd n d)))
+    (if (zerop g) (cons 0 1)
+      (cons (quotient n g) (quotient d g)))))
+
+(de rplus (a b)
+  (mkrat (+ (* (car a) (cdr b)) (* (car b) (cdr a)))
+         (* (cdr a) (cdr b))))
+
+(de rdiff (a b)
+  (mkrat (- (* (car a) (cdr b)) (* (car b) (cdr a)))
+         (* (cdr a) (cdr b))))
+
+(de rtimes (a b)
+  (mkrat (* (car a) (car b)) (* (cdr a) (cdr b))))
+
+(de rdiv (a b)
+  (when (zerop (car b)) (error))
+  (mkrat (* (car a) (cdr b)) (* (cdr a) (car b))))
+
+(de rzerop (a) (zerop (car a)))
+
+; ---- Polynomials: lists of rational coefficients, highest first. ----
+
+(de peval (p x)
+  (let ((acc (cons 0 1)))
+    (dolist (c p)
+      (setq acc (rplus (rtimes acc x) c)))
+    acc))
+
+; Derivative of a polynomial of degree (length p) - 1.
+(de pderiv (p)
+  (let ((n (- (length p) 1)) (r nil))
+    (while (greaterp n 0)
+      (push (rtimes (cons n 1) (car p)) r)
+      (setq p (cdr p))
+      (decf n))
+    (reverse r)))
+
+; ---- Symbolic polynomial arithmetic over integer coefficient lists
+;      (lowest degree first), used to build the test polynomials. ----
+
+(de ipadd (p q)
+  (cond ((null p) q)
+        ((null q) p)
+        (t (cons (+ (car p) (car q)) (ipadd (cdr p) (cdr q))))))
+
+(de ipscale (p k)
+  (if (null p) nil (cons (* k (car p)) (ipscale (cdr p) k))))
+
+; multiply by (x + a): shift and add
+(de ipmullin (p a)
+  (ipadd (ipscale p a) (cons 0 p)))
+
+; build the monic polynomial with the given roots (as (x - r) factors)
+(de iproots (roots)
+  (let ((p (list 1)))
+    (dolist (r roots)
+      (setq p (ipmullin p (- r))))
+    p))
+
+; convert an integer polynomial (lowest first) to rational coefficients
+; (highest first), as peval expects
+(de ratcoeffs (p)
+  (let ((r nil))
+    (dolist (c p) (push (cons c 1) r))
+    r))
+
+; ---- Rational functions: (numerator-poly . denominator-poly). ----
+
+(de rfeval (f x)
+  (rdiv (peval (car f) x) (peval (cdr f) x)))
+
+; Scaled integer value of a rational (floor of 4000 * n/d; the scale
+; keeps every product inside the 26-bit range of the High6 scheme).
+(de rscale (a) (quotient (* 4000 (car a)) (cdr a)))
+
+; Newton step for a root of p: x - p(x)/p'(x).
+(de newton (p x steps)
+  (let ((dp (pderiv p)))
+    (dotimes (i steps)
+      (setq x (rdiff x (rdiv (peval p x) (peval dp x)))))
+    x))
+
+(de main ()
+  ; f(x) = (x - 1)(x - 2) + 3 over (x + 2), built symbolically and
+  ; evaluated over a grid of rationals.  The sum is accumulated as a
+  ; scaled integer: exact rational summation would overflow the 27-bit
+  ; integer range of the high-tag schemes.
+  (let ((f nil) (s 0))
+    (dotimes (rep 6)
+      ; rebuild the rational function symbolically each repetition
+      (let ((num (ipadd (iproots '(1 2)) (list 3)))
+            (den (iproots '(-2))))
+        (setq f (cons (ratcoeffs num) (ratcoeffs den))))
+      (dotimes (k 40)
+        (let ((x (mkrat (+ k 1) (+ k 2))))
+          (setq s (+ s (rscale (rfeval f x)))))))
+    ; Two Newton iterations for sqrt(2) as a rational: p(x) = x^2 - 2.
+    (let ((r (newton (list (cons 1 1) (cons 0 1) (cons -2 1)) (cons 3 2) 2)))
+      (list (quotient s 240) (rscale r)))))
+|lisp}
+
+(* sum over the grid of floor(10000 * f((k+1)/(k+2))) / 240, and two
+   Newton steps from 3/2 for sqrt 2 give 577/408, scaled 14142;
+   cross-checked by an exact reference computation in
+   test/suite_benchmarks.ml. *)
+let expected = "(4258 5656)"

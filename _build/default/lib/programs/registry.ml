@@ -1,0 +1,133 @@
+(** The benchmark registry: the ten programs of the paper's Appendix,
+    with per-program heap sizing and the paper's Table 1 figures for
+    comparison in EXPERIMENTS.md. *)
+
+module L = Tagsim_runtime.Layout
+
+type paper_row = {
+  p_arith : float; (* Table 1: checking-increase percentages *)
+  p_vector : float;
+  p_list : float;
+  p_total : float;
+}
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  expected : string;
+  sizes : L.sizes;
+  paper : paper_row;
+}
+
+let default_sizes = { L.stack_bytes = 1 lsl 18; semi_bytes = 1 lsl 19 }
+
+let entries : entry list ref = ref []
+let register e = entries := e :: !entries
+
+let () =
+  register
+    {
+      name = "inter";
+      description =
+        "a simple interpreter for a subset of LISP; computes a Fibonacci \
+         number and sorts a list";
+      source = Inter.source;
+      expected = Inter.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.63; p_vector = 0.0; p_list = 19.04; p_total = 19.68 };
+    };
+  register
+    {
+      name = "deduce";
+      description = "a deductive information retriever over an indexed database";
+      source = Deduce.source;
+      expected = Deduce.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.09; p_vector = 0.0; p_list = 12.27; p_total = 12.36 };
+    };
+  register
+    {
+      name = "dedgc";
+      description =
+        "the same program as deduce, with a heap small enough that the \
+         copying garbage collector runs continually";
+      source = Deduce.source;
+      expected = Deduce.expected;
+      sizes = { L.stack_bytes = 1 lsl 18; semi_bytes = Deduce.dedgc_semi_bytes };
+      paper = { p_arith = 0.04; p_vector = 0.0; p_list = 6.58; p_total = 6.62 };
+    };
+  register
+    {
+      name = "rat";
+      description = "a rational function evaluator (after the PSL one)";
+      source = Rat.source;
+      expected = Rat.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 4.85; p_vector = 0.0; p_list = 13.69; p_total = 18.54 };
+    };
+  register
+    {
+      name = "comp";
+      description = "the first pass of the front end of a Lisp compiler";
+      source = Comp.source;
+      expected = Comp.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.05; p_vector = 0.0; p_list = 10.34; p_total = 10.39 };
+    };
+  register
+    {
+      name = "opt";
+      description = "the optimizer pass added to the compiler; uses lists and vectors";
+      source = Opt.source;
+      expected = Opt.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 2.68; p_vector = 11.76; p_list = 27.99; p_total = 42.43 };
+    };
+  register
+    {
+      name = "frl";
+      description = "a simple inventory system using the frame representation language";
+      source = Frl.source;
+      expected = Frl.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.45; p_vector = 0.0; p_list = 9.72; p_total = 10.17 };
+    };
+  register
+    {
+      name = "boyer";
+      description = "a rewrite-rule-based simplifier with a dumb tautology checker";
+      source = Boyer.source;
+      expected = Boyer.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.0; p_vector = 0.0; p_list = 17.50; p_total = 17.50 };
+    };
+  register
+    {
+      name = "brow";
+      description = "a short version of the browse benchmark: an AI-like database of units";
+      source = Brow.source;
+      expected = Brow.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 0.03; p_vector = 0.0; p_list = 19.91; p_total = 19.94 };
+    };
+  register
+    {
+      name = "trav";
+      description =
+        "a short version of the traverse benchmark: builds and traverses a \
+         tree of structures implemented as vectors";
+      source = Trav.source;
+      expected = Trav.expected;
+      sizes = default_sizes;
+      paper = { p_arith = 3.09; p_vector = 71.96; p_list = 13.19; p_total = 88.25 };
+    }
+
+let all () = List.rev !entries
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) (all ()) with
+  | Some e -> e
+  | None -> invalid_arg ("unknown benchmark: " ^ name)
+
+let names () = List.map (fun e -> e.name) (all ())

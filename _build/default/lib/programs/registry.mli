@@ -1,0 +1,30 @@
+(** The benchmark registry: the ten programs of the paper's Appendix,
+    with per-program heap sizing and the paper's Table 1 figures for
+    comparison in EXPERIMENTS.md. *)
+
+module L := Tagsim_runtime.Layout
+
+(** Table 1 percentages from the paper, for side-by-side reporting. *)
+type paper_row = {
+  p_arith : float;
+  p_vector : float;
+  p_list : float;
+  p_total : float;
+}
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  expected : string; (* printed form of the program's result *)
+  sizes : L.sizes;
+  paper : paper_row;
+}
+
+val default_sizes : L.sizes
+val all : unit -> entry list
+
+(** Raises [Invalid_argument] for an unknown name. *)
+val find : string -> entry
+
+val names : unit -> string list

@@ -1,0 +1,90 @@
+(** [trav]: a short version of the traverse benchmark (Gabriel).
+
+    Creates and repeatedly traverses a tree structure whose nodes are
+    {e structures implemented as vectors} — the paper's Appendix notes
+    exactly this, and it is why [trav] shows by far the highest
+    vector-checking cost in Table 1 (72% of the run-time checking
+    increase). *)
+
+let source =
+  {lisp|
+; A node is a 4-slot structure: 0 = mark, 1 = value, 2 = sons, 3 = visits.
+(de mknode (v)
+  (let ((n (mkvect 4)))
+    (putv n 0 0)
+    (putv n 1 v)
+    (putv n 2 nil)
+    (putv n 3 0)
+    n))
+
+(de addson (p s) (putv p 2 (cons s (getv p 2))) s)
+
+; A binary tree of the given depth, with value = depth at each node.
+(de buildtree (depth)
+  (let ((n (mknode depth)))
+    (when (greaterp depth 0)
+      (addson n (buildtree (- depth 1)))
+      (addson n (buildtree (- depth 1))))
+    n))
+
+; Count the nodes not yet carrying this mark, marking as we go and
+; bumping each node's visit counter.
+(de travcount (n mark)
+  (if (eq (getv n 0) mark) 0
+    (progn
+      (putv n 0 mark)
+      (putv n 3 (+ (getv n 3) 1))
+      (let ((c 1))
+        (dolist (s (getv n 2))
+          (setq c (+ c (travcount s mark))))
+        c))))
+
+; Sum of the value slots, weighted by visits.
+(de checksum (n mark)
+  (if (eq (getv n 0) mark) 0
+    (progn
+      (putv n 0 mark)
+      (let ((c (* (getv n 1) (getv n 3))))
+        (dolist (s (getv n 2))
+          (setq c (+ c (checksum s mark))))
+        c))))
+
+; Collect every node into a vector (preorder), for cross-linking.
+(de collect (n v)
+  (putv v (getv v 0) n)
+  (putv v 0 (+ (getv v 0) 1))
+  (dolist (s (getv n 2)) (collect s v)))
+
+; Add deterministic cross edges: node i gains node (i * 7 + 3) mod count
+; as an extra son, turning the tree into a graph (as in the traverse
+; benchmark's randomly cross-linked structures).
+(de crosslink (v count)
+  (let ((i 1))
+    (while (lessp i count)
+      (let ((extra (+ (remainder (* i 7) (- count 1)) 1)))
+        (addson (getv v i) (getv v extra)))
+      (setq i (+ i 4)))))
+
+(de main ()
+  (let ((root (buildtree 10)) (total 0))
+    (dotimes (i 18) (setq total (+ total (travcount root (+ i 1)))))
+    (let ((all (mkvect 2100)))
+      (putv all 0 1)
+      (collect root all)
+      (crosslink all (getv all 0))
+      (let ((gtotal 0))
+        (dotimes (i 6) (setq gtotal (+ gtotal (travcount root (+ 100 i)))))
+        (list total (checksum root 1000) gtotal)))))
+|lisp}
+
+(* 2^11 - 1 = 2047 nodes.  18 tree traversals, then 6 graph traversals
+   after cross-linking (which still reach exactly the 2047 nodes, so the
+   third component is 6 * 2047); every node ends up visited 24 times, so
+   the checksum is 24 * sum(value * count-at-value). *)
+let expected =
+  let nodes = 2047 in
+  let weighted = ref 0 in
+  for value = 0 to 10 do
+    weighted := !weighted + (value * (1 lsl (10 - value)))
+  done;
+  Printf.sprintf "(%d %d %d)" (nodes * 18) (24 * !weighted) (nodes * 6)

@@ -1,0 +1,1 @@
+lib/runtime/emit.ml: Layout Tagsim_asm Tagsim_mipsx Tagsim_tags

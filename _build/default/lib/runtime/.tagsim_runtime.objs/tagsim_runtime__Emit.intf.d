@@ -1,0 +1,1 @@
+lib/runtime/emit.mli: Tagsim_asm Tagsim_mipsx Tagsim_tags

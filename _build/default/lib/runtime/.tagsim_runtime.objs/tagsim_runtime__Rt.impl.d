@@ -1,0 +1,1 @@
+lib/runtime/rt.ml: Emit Layout List Tagsim_asm Tagsim_mipsx Tagsim_tags

@@ -1,0 +1,238 @@
+(** Emission helpers for tag operations.
+
+    Everything the paper measures flows through this module: inserting,
+    removing, extracting and checking tags, in whichever way the selected
+    tag scheme and hardware support allow.  Each helper emits the exact
+    instruction sequence the configuration calls for and attaches the
+    annotation the statistics machinery needs. *)
+
+module Insn = Tagsim_mipsx.Insn
+module Annot = Tagsim_mipsx.Annot
+module Reg = Tagsim_mipsx.Reg
+module Buf = Tagsim_asm.Buf
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+
+type ctx = { b : Buf.t; scheme : Scheme.t; support : Support.t }
+
+let emit ?annot ctx insn = Buf.emit ?annot ctx.b insn
+let label ctx l = Buf.label ctx.b l
+let fresh ctx prefix = Buf.fresh ctx.b prefix
+
+(* Convenience wrappers. *)
+let branch ?annot ?(squash = false) ?(hint = Insn.No_hint) ctx cond rs rt
+    target =
+  emit ?annot ctx (Insn.B ({ Insn.cond; rs; rt; squash; hint }, target))
+
+let branch_i ?annot ?(squash = false) ?(hint = Insn.No_hint) ctx cond rs imm
+    target =
+  emit ?annot ctx
+    (Insn.Bi
+       ( { Insn.bi_cond = cond; bi_rs = rs; bi_imm = imm; bi_squash = squash;
+           bi_hint = hint },
+         target ))
+
+let branch_tag ?annot ?(squash = false) ?(hint = Insn.No_hint) ctx ~neg rs tag
+    target =
+  emit ?annot ctx
+    (Insn.Btag
+       ( { Insn.bt_neg = neg; bt_rs = rs; bt_tag = tag; bt_squash = squash;
+           bt_hint = hint },
+         target ))
+
+(* --- Constant items. --- *)
+
+let sym_item scheme idx =
+  Scheme.encode_ptr scheme Scheme.Symbol (Layout.sym_addr idx)
+
+let nil_item scheme = sym_item scheme Layout.sym_nil
+let t_item scheme = sym_item scheme Layout.sym_t
+
+(* --- Tag insertion (Section 3.1). --- *)
+
+(** Build a tagged item from the raw address in [src].  High-tag schemes
+    take two cycles (a [lui]-style tag constant plus an [or]); low-tag
+    schemes take one; a preshifted pair tag kept in [k5] reduces the pair
+    case to one cycle (Section 3.1 ablation). *)
+let insert_tag ?(checking = false) ctx ~ty ~src ~dst ~scratch =
+  let annot = Annot.make ~checking Annot.Insert in
+  let tag = ctx.scheme.Scheme.tag ty in
+  if Scheme.is_low ctx.scheme then emit ~annot ctx (Insn.Alui (Insn.Or, dst, src, tag))
+  else if ty = Scheme.Pair && ctx.support.Support.preshifted_pair_tag then
+    emit ~annot ctx (Insn.Alu (Insn.Or, dst, src, Reg.k5))
+  else begin
+    emit ~annot ctx (Insn.Li (scratch, tag lsl ctx.scheme.Scheme.tag_shift));
+    emit ~annot ctx (Insn.Alu (Insn.Or, dst, src, scratch))
+  end
+
+(* --- Tag extraction (Section 3.3). --- *)
+
+let extract_tag ?(checking = false) ctx ~src_kind reg ~dst =
+  let annot = Annot.make ~checking (Annot.Extract src_kind) in
+  if Scheme.is_low ctx.scheme then
+    emit ~annot ctx
+      (Insn.Alui (Insn.And, dst, reg, (1 lsl ctx.scheme.Scheme.tag_width) - 1))
+  else emit ~annot ctx (Insn.Alui (Insn.Srl, dst, reg, ctx.scheme.Scheme.tag_shift))
+
+(* --- Tag checking (Sections 3.4 and 6). --- *)
+
+(** Branch to [target] according to whether [reg] has the tag of [ty].
+    [sense = `Is]: branch when the type matches; [`Is_not]: when it does
+    not.  With [tag_branch] hardware this is a single instruction;
+    otherwise extraction plus a compare-and-branch.
+
+    For the Low2 scheme, vectors and boxed numbers share the escape tag
+    and are discriminated by the header subtype; testing those types costs
+    an extra load and compare, which is the honest price of a 2-bit tag. *)
+let check_type ?(checking = false) ?(hint = Insn.No_hint) ctx ~src_kind ~ty
+    ~sense reg ~scratch target =
+  let scheme = ctx.scheme in
+  let tag = scheme.Scheme.tag ty in
+  let check = Annot.make ~checking (Annot.Check src_kind) in
+  let low2_escape =
+    scheme.Scheme.layout = Scheme.Low2 && (ty = Scheme.Vector || ty = Scheme.Boxnum)
+  in
+  if not low2_escape then begin
+    if ctx.support.Support.tag_branch then
+      branch_tag ~annot:check ~hint ctx ~neg:(sense = `Is_not) reg tag target
+    else begin
+      extract_tag ~checking ctx ~src_kind reg ~dst:scratch;
+      let cond = if sense = `Is_not then Insn.Ne else Insn.Eq in
+      branch_i ~annot:check ~hint ctx cond scratch tag target
+    end
+  end
+  else begin
+    (* Escape tag, then header subtype. *)
+    let subtype =
+      if ty = Scheme.Vector then Scheme.subtype_vector else Scheme.subtype_boxnum
+    in
+    match sense with
+    | `Is_not ->
+        (* Fail fast on a non-escape tag, then on the wrong subtype. *)
+        if ctx.support.Support.tag_branch then
+          branch_tag ~annot:check ~hint ctx ~neg:true reg tag target
+        else begin
+          extract_tag ~checking ctx ~src_kind reg ~dst:scratch;
+          branch_i ~annot:check ~hint ctx Insn.Ne scratch tag target
+        end;
+        emit ~annot:check ctx (Insn.Ld (Insn.Plain, scratch, reg, 0));
+        branch_i ~annot:check ~hint ctx Insn.Ne scratch subtype target
+    | `Is ->
+        let out = fresh ctx "l2t" in
+        if ctx.support.Support.tag_branch then
+          branch_tag ~annot:check ctx ~neg:true reg tag out
+        else begin
+          extract_tag ~checking ctx ~src_kind reg ~dst:scratch;
+          branch_i ~annot:check ctx Insn.Ne scratch tag out
+        end;
+        emit ~annot:check ctx (Insn.Ld (Insn.Plain, scratch, reg, 0));
+        branch_i ~annot:check ~hint ctx Insn.Eq scratch subtype target;
+        label ctx out
+  end
+
+(** Integer test: branch to [target] when [reg] is / is not an integer
+    item.  High-tag schemes use the paper's method 2 (sign-extend the low
+    bits and compare, Section 4.1, 3 cycles); low-tag schemes test the two
+    low bits (2 cycles). *)
+let int_test ?(checking = false) ?(hint = Insn.No_hint) ctx ~src_kind ~sense
+    reg ~scratch target =
+  let scheme = ctx.scheme in
+  let extract = Annot.make ~checking (Annot.Extract src_kind) in
+  let check = Annot.make ~checking (Annot.Check src_kind) in
+  if Scheme.is_low scheme then begin
+    emit ~annot:extract ctx (Insn.Alui (Insn.And, scratch, reg, 3));
+    let cond = if sense = `Is_not then Insn.Ne else Insn.Eq in
+    branch_i ~annot:check ~hint ctx cond scratch 0 target
+  end
+  else begin
+    let sh = 32 - scheme.Scheme.int_bits in
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sll, scratch, reg, sh));
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sra, scratch, scratch, sh));
+    let cond = if sense = `Is_not then Insn.Ne else Insn.Eq in
+    branch ~annot:check ~hint ctx cond scratch reg target
+  end
+
+(** Overflow check on the result of an integer add/sub (Section 4.1): the
+    high-tag schemes check that the result is still a valid integer item
+    (3 cycles); the low-tag schemes check 32-bit signed overflow directly
+    (the items are [n lsl 2]), which needs two scratch registers. *)
+let overflow_check ?(checking = false) ?(subtraction = false)
+    ?(resumable = false) ctx ~result ~op_a ~op_b ~scratch ~fail =
+  let fail_hint = if resumable then Insn.Slow_path else Insn.Unlikely in
+  let extract = Annot.make ~checking (Annot.Extract Annot.Arith_op) in
+  let check = Annot.make ~checking (Annot.Check Annot.Arith_op) in
+  if Scheme.is_low ctx.scheme then begin
+    (* 32-bit signed overflow, one scratch register:
+       add:  overflow possible only when the operands agree in sign and
+             the result's sign differs from theirs;
+       sub:  overflow possible only when the operands disagree in sign
+             and the result's sign differs from the minuend's. *)
+    let ok = fresh ctx "ovok" in
+    emit ~annot:extract ctx (Insn.Alu (Insn.Xor, scratch, op_a, op_b));
+    (if subtraction then
+       branch ~annot:check ctx Insn.Ge scratch Reg.zero ok
+     else branch ~annot:check ctx Insn.Lt scratch Reg.zero ok);
+    emit ~annot:extract ctx (Insn.Alu (Insn.Xor, scratch, op_a, result));
+    branch ~annot:check ~hint:fail_hint ctx Insn.Lt scratch Reg.zero fail;
+    label ctx ok
+  end
+  else begin
+    let sh = 32 - ctx.scheme.Scheme.int_bits in
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sll, scratch, result, sh));
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sra, scratch, scratch, sh));
+    branch ~annot:check ~hint:fail_hint ctx Insn.Ne scratch result fail
+  end
+
+(** Result-validity check used by the High6 arithmetic encoding
+    (Section 4.2) and by multiply: branch to [fail] unless [result] is a
+    valid integer item.  The failure target is usually a resumable slow
+    path, so the slot filler only moves register work into its slots. *)
+let validity_check ?(checking = false) ctx ~result ~scratch ~fail =
+  int_test ~checking ~hint:Insn.Slow_path ctx ~src_kind:Annot.Arith_op
+    ~sense:`Is_not result ~scratch fail
+
+(* --- Memory access to tagged objects (Sections 3.2, 5, 6.2.1). --- *)
+
+type access = { mode : Insn.mem_mode; base : Reg.t; corr : int }
+
+(** Prepare to address into the object that the item in [reg] points to.
+    Depending on the configuration this is:
+    - a parallel-checked access (tag verified by the hardware, tag bits
+      dropped by the hardware): no instructions;
+    - a tag-ignoring access: no instructions;
+    - a low-tag access: no instructions (offset correction only);
+    - a plain high-tag access: one masking instruction into [scratch]. *)
+let object_access ?(checking = false) ctx ~ty ~parallel reg ~scratch =
+  let scheme = ctx.scheme in
+  if parallel then
+    { mode = Insn.Checked (scheme.Scheme.tag ty); base = reg; corr = 0 }
+  else if ctx.support.Support.tag_ignoring_mem && scheme.Scheme.needs_mask then
+    (* Tag-ignoring memory hardware only matters for high-tag schemes; the
+       low-tag schemes already access memory without masking. *)
+    { mode = Insn.Tag_ignoring; base = reg; corr = 0 }
+  else if scheme.Scheme.needs_mask then begin
+    emit ~annot:(Annot.make ~checking Annot.Remove) ctx
+      (Insn.Alu (Insn.And, scratch, reg, Reg.rmask));
+    { mode = Insn.Plain; base = scratch; corr = 0 }
+  end
+  else
+    { mode = Insn.Plain; base = reg; corr = Scheme.offset_correction scheme ty }
+
+let load ?annot ctx access ~dst ~off =
+  emit ?annot ctx (Insn.Ld (access.mode, dst, access.base, off + access.corr))
+
+let store ?annot ctx access ~src ~off =
+  emit ?annot ctx (Insn.St (access.mode, access.base, src, off + access.corr))
+
+(** Does the configuration check this object type in parallel with the
+    memory access (Table 2 rows 5/6)?  Only meaningful when run-time
+    checking is on: with checking off there is nothing to check. *)
+let parallel_covers ctx (ty : Scheme.ty) =
+  ctx.support.Support.runtime_checking
+  &&
+  match ctx.support.Support.parallel_check with
+  | Support.Pc_none -> false
+  | Support.Pc_lists -> ty = Scheme.Pair
+  | Support.Pc_all ->
+      ty = Scheme.Pair || ty = Scheme.Vector || ty = Scheme.Boxnum
+      || ty = Scheme.Symbol

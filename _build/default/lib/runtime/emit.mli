@@ -1,0 +1,150 @@
+(** Emission helpers for tag operations: inserting, removing, extracting
+    and checking tags, in whichever way the selected tag scheme and
+    hardware support allow.  Each helper emits the exact instruction
+    sequence the configuration calls for and attaches the annotation the
+    statistics machinery needs — everything the paper measures flows
+    through here. *)
+
+module Insn := Tagsim_mipsx.Insn
+module Annot := Tagsim_mipsx.Annot
+module Reg := Tagsim_mipsx.Reg
+module Buf := Tagsim_asm.Buf
+module Scheme := Tagsim_tags.Scheme
+
+type ctx = { b : Buf.t; scheme : Scheme.t; support : Tagsim_tags.Support.t }
+
+val emit : ?annot:Annot.t -> ctx -> string Insn.t -> unit
+val label : ctx -> string -> unit
+val fresh : ctx -> string -> string
+
+(** {1 Branch wrappers} *)
+
+val branch :
+  ?annot:Annot.t ->
+  ?squash:bool ->
+  ?hint:Insn.hint ->
+  ctx ->
+  Insn.cond ->
+  Reg.t ->
+  Reg.t ->
+  string ->
+  unit
+
+val branch_i :
+  ?annot:Annot.t ->
+  ?squash:bool ->
+  ?hint:Insn.hint ->
+  ctx ->
+  Insn.cond ->
+  Reg.t ->
+  int ->
+  string ->
+  unit
+
+val branch_tag :
+  ?annot:Annot.t ->
+  ?squash:bool ->
+  ?hint:Insn.hint ->
+  ctx ->
+  neg:bool ->
+  Reg.t ->
+  int ->
+  string ->
+  unit
+
+(** {1 Constant items} *)
+
+val sym_item : Scheme.t -> int -> int
+val nil_item : Scheme.t -> int
+val t_item : Scheme.t -> int
+
+(** {1 Tag operations} *)
+
+(** Build a tagged item from a raw address: two cycles on the high-tag
+    schemes, one on the low-tag schemes, one with a preshifted pair tag
+    (Section 3.1). *)
+val insert_tag :
+  ?checking:bool ->
+  ctx ->
+  ty:Scheme.ty ->
+  src:Reg.t ->
+  dst:Reg.t ->
+  scratch:Reg.t ->
+  unit
+
+val extract_tag :
+  ?checking:bool -> ctx -> src_kind:Annot.source -> Reg.t -> dst:Reg.t -> unit
+
+(** Branch according to whether a register's tag matches a type; one
+    instruction under tag-branch hardware, extraction plus a
+    compare-and-branch otherwise.  Low2's escape-tagged types cost an
+    extra header compare. *)
+val check_type :
+  ?checking:bool ->
+  ?hint:Insn.hint ->
+  ctx ->
+  src_kind:Annot.source ->
+  ty:Scheme.ty ->
+  sense:[ `Is | `Is_not ] ->
+  Reg.t ->
+  scratch:Reg.t ->
+  string ->
+  unit
+
+(** Integer test: 3 cycles on high-tag schemes (method 2 of Section 4.1),
+    2 on low-tag schemes. *)
+val int_test :
+  ?checking:bool ->
+  ?hint:Insn.hint ->
+  ctx ->
+  src_kind:Annot.source ->
+  sense:[ `Is | `Is_not ] ->
+  Reg.t ->
+  scratch:Reg.t ->
+  string ->
+  unit
+
+(** Overflow check on the result of an integer add/sub.  [resumable]
+    marks the failure target as a slow path the scheduler must treat
+    conservatively. *)
+val overflow_check :
+  ?checking:bool ->
+  ?subtraction:bool ->
+  ?resumable:bool ->
+  ctx ->
+  result:Reg.t ->
+  op_a:Reg.t ->
+  op_b:Reg.t ->
+  scratch:Reg.t ->
+  fail:string ->
+  unit
+
+(** Branch to [fail] unless [result] is a valid integer item (the High6
+    generic-add check of Section 4.2; also used for multiply). *)
+val validity_check :
+  ?checking:bool -> ctx -> result:Reg.t -> scratch:Reg.t -> fail:string -> unit
+
+(** {1 Memory access to tagged objects} *)
+
+type access = { mode : Insn.mem_mode; base : Reg.t; corr : int }
+
+(** Prepare to address into the object a tagged item points to: a
+    parallel-checked access, a tag-ignoring access, a low-tag access
+    (offset correction only), or a plain high-tag access with one
+    masking instruction into [scratch]. *)
+val object_access :
+  ?checking:bool ->
+  ctx ->
+  ty:Scheme.ty ->
+  parallel:bool ->
+  Reg.t ->
+  scratch:Reg.t ->
+  access
+
+val load : ?annot:Annot.t -> ctx -> access -> dst:Reg.t -> off:int -> unit
+val store : ?annot:Annot.t -> ctx -> access -> src:Reg.t -> off:int -> unit
+
+(** Does the configuration check this object type in parallel with the
+    memory access (Table 2 rows 5/6)?  Only meaningful with run-time
+    checking on. *)
+val parallel_covers : ctx -> Scheme.ty -> bool

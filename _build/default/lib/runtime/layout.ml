@@ -1,0 +1,120 @@
+(** Memory layout and label-name conventions shared by the code generator
+    and the runtime routines.
+
+    Data memory:
+    {v
+      0 .. 63        reserved (never a valid object address)
+      64 ..          symbol table (16 bytes per symbol, 8-aligned)
+                     runtime statics (GC register-save area, layout words)
+                     quoted constants
+      stack_base ..  the stack (grows down from stack_top = initial sp)
+      heap_a ..      semispace A
+      heap_b ..      semispace B
+    v}
+
+    The symbol table is emitted first, so its address is the constant
+    {!symtab_base}; symbol items can then be built as compile-time
+    constants.  Stack and heap bounds depend on the size of the static
+    data, so they are computed by the loader and poked into the layout
+    words before the program starts; the startup code loads them from
+    there. *)
+
+(* Symbol cells: [value; function; plist; name-id]. *)
+let symtab_base = 64
+let sym_cell_size = 16
+let sym_off_value = 0
+let sym_off_function = 4
+let sym_off_plist = 8
+let sym_off_name = 12
+let sym_addr idx = symtab_base + (idx * sym_cell_size)
+
+(* Object headers (vectors, boxed numbers): [subtype; length-or-value]. *)
+let obj_off_subtype = 0
+let obj_off_length = 4
+let obj_off_elems = 8
+
+(* Well-known symbol indices (interned first, in this order). *)
+let sym_nil = 0
+let sym_t = 1
+
+(* Labels. *)
+let l_symtab = "symtab"
+let l_symtab_count = "symtab$count"
+let l_stack_top = "lay$stack_top"
+let l_heap_a = "lay$heap_a"
+let l_heap_b = "lay$heap_b"
+let l_semi_bytes = "lay$semi_bytes"
+let l_gc_cur = "gc$cur" (* base of the current (from) semispace *)
+let l_gc_ra = "gc$ra"
+let l_gc_regsave = "gc$regsave"
+let l_gc_count = "gc$count"
+let l_gc_copied = "gc$copied" (* bytes copied, cumulative *)
+let l_gadd_entry = "rt$gadd"
+let l_gsub_entry = "rt$gsub"
+let l_gadd_trap = "rt$gadd_trap"
+let l_gsub_trap = "rt$gsub_trap"
+let l_gmul_entry = "rt$gmul"
+let l_gdiv_entry = "rt$gdiv"
+let l_grem_entry = "rt$grem"
+let l_gc_entry = "rt$gc"
+let l_mkvect = "rt$mkvect"
+let l_makebox = "rt$makebox"
+let l_err_type = "rt$err_type"
+let l_err_bounds = "rt$err_bounds"
+let l_err_undef = "rt$err_undef"
+let l_err_heap = "rt$err_heap"
+let l_err_arith = "rt$err_arith"
+let fn_label name = "f$" ^ name
+
+(* Abort codes (the argument of [Trap]); the machine adds
+   [Machine.err_user_base]. *)
+let trap_type_error = 1
+let trap_bounds_error = 2
+let trap_undefined_function = 3
+let trap_heap_overflow = 4
+let trap_arith_error = 5
+
+(* Registers saved into the GC register-save area (tagged-value roots).
+   [rnil] and [k5] only ever hold static items, so they need no update,
+   and k0..k4 are GC scratch.  [v0] and [v1] are deliberately NOT roots:
+   they are transient scratch that may hold non-item values (e.g. an
+   indexed address that still carries a tag), and the code generator
+   guarantees they are never live across a potential collection point. *)
+let gc_saved_regs =
+  let module Reg = Tagsim_mipsx.Reg in
+  [ Reg.a0; Reg.a1; Reg.a2; Reg.a3 ]
+  @ List.init Reg.n_temps Reg.temp
+  @ [ Reg.tr0; Reg.tr1 ]
+
+let gc_regsave_words = List.length gc_saved_regs
+
+(* Red zone below the heap limit, so that speculative stores from the
+   allocation fast path never corrupt anything. *)
+let heap_slack = 32
+
+(** Run-time sizing, decided per program run. *)
+type sizes = { stack_bytes : int; semi_bytes : int }
+
+let default_sizes = { stack_bytes = 1 lsl 18; semi_bytes = 1 lsl 19 }
+
+(** Compute the memory map given where static data ends. *)
+type map = {
+  stack_base : int;
+  stack_top : int;
+  heap_a : int;
+  heap_b : int;
+  semi_bytes : int;
+}
+
+let compute_map ~data_end ~sizes ~mem_bytes =
+  let align8 a = (a + 7) land lnot 7 in
+  let stack_base = align8 data_end in
+  let stack_top = stack_base + sizes.stack_bytes in
+  let heap_a = align8 stack_top in
+  let heap_b = heap_a + sizes.semi_bytes in
+  let heap_end = heap_b + sizes.semi_bytes in
+  if heap_end > mem_bytes then
+    invalid_arg
+      (Printf.sprintf "memory map overflow: need %d bytes, have %d" heap_end
+         mem_bytes);
+  { stack_base; stack_top; heap_a; heap_b; semi_bytes = sizes.semi_bytes }

@@ -1,0 +1,93 @@
+(** Memory layout and label-name conventions shared by the code
+    generator and the runtime routines (see the implementation header
+    for the memory map). *)
+
+(** {1 Symbol cells} *)
+
+val symtab_base : int
+val sym_cell_size : int
+val sym_off_value : int
+val sym_off_function : int
+val sym_off_plist : int
+val sym_off_name : int
+val sym_addr : int -> int
+
+(** {1 Object headers (vectors, boxed numbers)} *)
+
+val obj_off_subtype : int
+val obj_off_length : int
+val obj_off_elems : int
+
+(** {1 Well-known symbols} *)
+
+val sym_nil : int
+val sym_t : int
+
+(** {1 Labels} *)
+
+val l_symtab : string
+val l_symtab_count : string
+val l_stack_top : string
+val l_heap_a : string
+val l_heap_b : string
+val l_semi_bytes : string
+val l_gc_cur : string
+val l_gc_ra : string
+val l_gc_regsave : string
+val l_gc_count : string
+val l_gc_copied : string
+val l_gadd_entry : string
+val l_gsub_entry : string
+val l_gadd_trap : string
+val l_gsub_trap : string
+val l_gmul_entry : string
+val l_gdiv_entry : string
+val l_grem_entry : string
+val l_gc_entry : string
+val l_mkvect : string
+val l_makebox : string
+val l_err_type : string
+val l_err_bounds : string
+val l_err_undef : string
+val l_err_heap : string
+val l_err_arith : string
+val fn_label : string -> string
+
+(** {1 Abort codes (arguments of [Trap])} *)
+
+val trap_type_error : int
+val trap_bounds_error : int
+val trap_undefined_function : int
+val trap_heap_overflow : int
+val trap_arith_error : int
+
+(** {1 Collection roots} *)
+
+(** Registers saved into the register-save area and forwarded as roots.
+    [v0]/[v1] are deliberately excluded (transient scratch); k0..k4 are
+    collector scratch. *)
+val gc_saved_regs : Tagsim_mipsx.Reg.t list
+
+val gc_regsave_words : int
+
+(** Red zone below the heap limit, covering speculative stores from the
+    allocation fast path. *)
+val heap_slack : int
+
+(** {1 Run-time sizing} *)
+
+type sizes = { stack_bytes : int; semi_bytes : int }
+
+val default_sizes : sizes
+
+type map = {
+  stack_base : int;
+  stack_top : int;
+  heap_a : int;
+  heap_b : int;
+  semi_bytes : int;
+}
+
+(** Compute the memory map given where static data ends; raises
+    [Invalid_argument] when it does not fit. *)
+val compute_map : data_end:int -> sizes:sizes -> mem_bytes:int -> map

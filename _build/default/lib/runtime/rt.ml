@@ -1,0 +1,540 @@
+(** Runtime system, emitted as simulated machine code so that its cycles
+    (and its tag operations) are measured exactly like user code.
+
+    Contents: error stubs, the vector and boxed-number allocators, the
+    generic-arithmetic fallback (with both a call entry and a trap entry
+    for the hardware generic-arithmetic option), the two-space copying
+    garbage collector, and the startup sequence.
+
+    Register discipline:
+    - [rt$gadd]/[rt$gsub] use only [k0..k2], [v0], [v1], [a0], [a1]: they
+      can be entered from a hardware trap in the middle of an expression,
+      where the temporaries [t0..t8] hold live values.
+    - the collector saves all tagged-value roots into a static register
+      save area, forwards them, and restores them; only [hp], [hl] and the
+      save area change across a collection.
+    - values that must survive a collection are kept in root registers as
+      tagged items, never as raw addresses. *)
+
+module Insn = Tagsim_mipsx.Insn
+module Annot = Tagsim_mipsx.Annot
+module Reg = Tagsim_mipsx.Reg
+module Buf = Tagsim_asm.Buf
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module L = Layout
+
+let g = Annot.make Annot.Gc_work
+let al = Annot.make Annot.Alloc
+let ga = Annot.make Annot.Garith
+
+(* Shorthand instruction constructors. *)
+let add rd rs rt = Insn.Alu (Insn.Add, rd, rs, rt)
+let addi rd rs i = Insn.Alui (Insn.Add, rd, rs, i)
+let sub rd rs rt = Insn.Alu (Insn.Sub, rd, rs, rt)
+let andi rd rs i = Insn.Alui (Insn.And, rd, rs, i)
+let slli rd rs i = Insn.Alui (Insn.Sll, rd, rs, i)
+let srai rd rs i = Insn.Alui (Insn.Sra, rd, rs, i)
+let ld rd rs off = Insn.Ld (Insn.Plain, rd, rs, off)
+let st rs rt off = Insn.St (Insn.Plain, rs, rt, off)
+
+let la_ld ?annot (ctx : Emit.ctx) ~dst lbl =
+  (* dst <- memory word at static label lbl *)
+  Emit.emit ?annot ctx (Insn.La (dst, lbl));
+  Emit.emit ?annot ctx (ld dst dst 0)
+
+let la_st ?annot (ctx : Emit.ctx) ~scratch ~src lbl =
+  Emit.emit ?annot ctx (Insn.La (scratch, lbl));
+  Emit.emit ?annot ctx (st scratch src 0)
+
+(* --- Error stubs. --- *)
+
+let emit_error_stubs ctx =
+  let stub lbl code =
+    Emit.label ctx lbl;
+    Emit.emit ctx (Insn.Trap code)
+  in
+  stub L.l_err_type L.trap_type_error;
+  stub L.l_err_bounds L.trap_bounds_error;
+  stub L.l_err_undef L.trap_undefined_function;
+  stub L.l_err_heap L.trap_heap_overflow;
+  stub L.l_err_arith L.trap_arith_error
+
+(* --- Vector allocation. ---
+
+   rt$mkvect: a0 = element count (integer item) -> v0 = vector item.
+   Elements are initialised to nil.  May collect. *)
+
+let emit_mkvect ctx =
+  let scheme = ctx.Emit.scheme in
+  let e ?(a = al) i = Emit.emit ~annot:a ctx i in
+  Emit.label ctx L.l_mkvect;
+  e (addi Reg.sp Reg.sp (-8));
+  e (st Reg.sp Reg.ra 0);
+  (* Type-check the count when run-time checking is on. *)
+  if ctx.Emit.support.Support.runtime_checking then
+    Emit.int_test ~checking:true ~hint:Insn.Unlikely ctx
+      ~src_kind:Annot.Vector_op ~sense:`Is_not Reg.a0 ~scratch:Reg.k0
+      L.l_err_type;
+  (* Sanity: a negative count is always an error. *)
+  Emit.branch ~annot:al ~hint:Insn.Unlikely ctx Insn.Lt Reg.a0 Reg.zero
+    L.l_err_bounds;
+  let retry = Emit.fresh ctx "mkv" in
+  let fail = Emit.fresh ctx "mkvfail" in
+  (* k3 = number of GC attempts so far. *)
+  e (Insn.Li (Reg.k3, 0));
+  Emit.label ctx retry;
+  (* k1 = size in bytes = 8 + 4*n, aligned. *)
+  if Scheme.is_low scheme then e (addi Reg.k1 Reg.a0 8)
+    (* low items are n lsl 2 = 4n already *)
+  else begin
+    e (slli Reg.k1 Reg.a0 2);
+    e (addi Reg.k1 Reg.k1 8)
+  end;
+  if scheme.Scheme.obj_align = 8 then begin
+    e (addi Reg.k1 Reg.k1 7);
+    e (andi Reg.k1 Reg.k1 (-8))
+  end;
+  (* Space check. *)
+  e (add Reg.k2 Reg.hp Reg.k1);
+  let ok = Emit.fresh ctx "mkvok" in
+  Emit.branch ~annot:al ctx Insn.Le Reg.k2 Reg.hl ok;
+  (* Full: collect once, then fail. *)
+  Emit.branch_i ~annot:al ~hint:Insn.Unlikely ctx Insn.Ne Reg.k3 0 fail;
+  e (Insn.Li (Reg.k3, 1));
+  e (Insn.Jal L.l_gc_entry);
+  e (Insn.J retry);
+  Emit.label ctx fail;
+  e (Insn.J L.l_err_heap);
+  Emit.label ctx ok;
+  (* Header. *)
+  e (Insn.Li (Reg.k0, Scheme.subtype_vector));
+  e (st Reg.hp Reg.k0 L.obj_off_subtype);
+  e (st Reg.hp Reg.a0 L.obj_off_length);
+  (* Initialise elements (and any alignment pad) to nil. *)
+  e (addi Reg.k0 Reg.hp L.obj_off_elems);
+  let loop = Emit.fresh ctx "mkvinit" in
+  let done_ = Emit.fresh ctx "mkvdone" in
+  Emit.label ctx loop;
+  Emit.branch ~annot:al ctx Insn.Ge Reg.k0 Reg.k2 done_;
+  e (st Reg.k0 Reg.rnil 0);
+  e (addi Reg.k0 Reg.k0 4);
+  Emit.emit ~annot:al ctx (Insn.J loop);
+  Emit.label ctx done_;
+  (* Tag and bump. *)
+  Emit.insert_tag ctx ~ty:Scheme.Vector ~src:Reg.hp ~dst:Reg.v0
+    ~scratch:Reg.k0;
+  e (Insn.Mv (Reg.hp, Reg.k2));
+  e (ld Reg.ra Reg.sp 0);
+  e (addi Reg.sp Reg.sp 8);
+  e (Insn.Jr Reg.ra)
+
+(* --- Boxed-number allocation. ---
+
+   rt$makebox: a0 = payload (an *integer item*; boxes store their payload
+   encoded so that the word-granular Cheney scan can never mistake it for
+   a heap pointer) -> v0 = boxnum item.  Uses only k0..k2/v0; callable
+   from the generic-arithmetic fallback. *)
+
+let emit_makebox ctx =
+  let e ?(a = al) i = Emit.emit ~annot:a ctx i in
+  Emit.label ctx L.l_makebox;
+  e (addi Reg.sp Reg.sp (-8));
+  e (st Reg.sp Reg.ra 0);
+  let retry = Emit.fresh ctx "mkb" in
+  let fail = Emit.fresh ctx "mkbfail" in
+  e (Insn.Li (Reg.k2, 0));
+  Emit.label ctx retry;
+  e (addi Reg.k0 Reg.hp 8);
+  let ok = Emit.fresh ctx "mkbok" in
+  Emit.branch ~annot:al ctx Insn.Le Reg.k0 Reg.hl ok;
+  Emit.branch_i ~annot:al ~hint:Insn.Unlikely ctx Insn.Ne Reg.k2 0 fail;
+  e (Insn.Li (Reg.k2, 1));
+  e (Insn.Jal L.l_gc_entry);
+  e (Insn.J retry);
+  Emit.label ctx fail;
+  e (Insn.J L.l_err_heap);
+  Emit.label ctx ok;
+  e (Insn.Li (Reg.k1, Scheme.subtype_boxnum));
+  e (st Reg.hp Reg.k1 L.obj_off_subtype);
+  e (st Reg.hp Reg.a0 L.obj_off_length);
+  Emit.insert_tag ctx ~ty:Scheme.Boxnum ~src:Reg.hp ~dst:Reg.v0
+    ~scratch:Reg.k1;
+  e (Insn.Mv (Reg.hp, Reg.k0));
+  e (ld Reg.ra Reg.sp 0);
+  e (addi Reg.sp Reg.sp 8);
+  e (Insn.Jr Reg.ra)
+
+(* --- Generic arithmetic fallback (Sections 2.2, 4, 6.2.2). ---
+
+   rt$gadd / rt$gsub: a0, a1 = operand items -> v0 = result item.
+   Reached when the inline integer-biased path fails: at least one operand
+   is a boxed number (result is boxed), or both are integers whose result
+   overflows (an error in this system, standing for the bignum path).
+
+   rt$gadd_trap / rt$gsub_trap: trap entries for the hardware
+   generic-arithmetic option; operands arrive in tr0/tr1 and the result
+   returns through the trapped instruction's destination register. *)
+
+let emit_generic_arith ctx =
+  let scheme = ctx.Emit.scheme in
+  let e ?(a = ga) i = Emit.emit ~annot:a ctx i in
+  (* Unbox [reg] into [dst] (an integer item): integers pass through,
+     boxnums load their payload, anything else is a type error.  Uses
+     [scratch]. *)
+  let unbox ~reg ~dst ~scratch =
+    let is_int = Emit.fresh ctx "ubi" in
+    let done_ = Emit.fresh ctx "ubd" in
+    Emit.int_test ctx ~src_kind:Annot.Arith_op ~sense:`Is reg ~scratch is_int;
+    Emit.check_type ~hint:Insn.Unlikely ctx ~src_kind:Annot.Arith_op
+      ~ty:Scheme.Boxnum ~sense:`Is_not reg ~scratch L.l_err_type;
+    (* Boxed: load the payload. *)
+    let acc =
+      Emit.object_access ctx ~ty:Scheme.Boxnum ~parallel:false reg ~scratch
+    in
+    Emit.load ~annot:ga ctx acc ~dst ~off:L.obj_off_length;
+    e (Insn.J done_);
+    Emit.label ctx is_int;
+    e (Insn.Mv (dst, reg));
+    Emit.label ctx done_
+  in
+  let body ~name ~op =
+    Emit.label ctx name;
+    e (addi Reg.sp Reg.sp (-8));
+    e (st Reg.sp Reg.ra 0);
+    (* Both operands integers: either the caller dispatches here always
+       (Section 6.2.2 dispatch-first ablation), in which case the plain
+       result is returned, or the inline path overflowed, in which case
+       the validity check below fails — that is the (unimplemented)
+       bignum path, a run-time error here. *)
+    let some_box = Emit.fresh ctx "gbox" in
+    Emit.int_test ctx ~src_kind:Annot.Arith_op ~sense:`Is_not Reg.a0
+      ~scratch:Reg.k0 some_box;
+    Emit.int_test ctx ~src_kind:Annot.Arith_op ~sense:`Is_not Reg.a1
+      ~scratch:Reg.k0 some_box;
+    e (Insn.Alu (op, Reg.v0, Reg.a0, Reg.a1));
+    Emit.overflow_check ~subtraction:(op = Insn.Sub) ctx ~result:Reg.v0
+      ~op_a:Reg.a0 ~op_b:Reg.a1 ~scratch:Reg.k0 ~fail:L.l_err_arith;
+    e (ld Reg.ra Reg.sp 0);
+    e (addi Reg.sp Reg.sp 8);
+    e (Insn.Jr Reg.ra);
+    Emit.label ctx some_box;
+    unbox ~reg:Reg.a0 ~dst:Reg.k1 ~scratch:Reg.k0;
+    unbox ~reg:Reg.a1 ~dst:Reg.k2 ~scratch:Reg.k0;
+    (* Integer items add/sub directly in both encodings; the result must
+       still be a representable integer. *)
+    e (Insn.Alu (op, Reg.k0, Reg.k1, Reg.k2));
+    Emit.overflow_check ~subtraction:(op = Insn.Sub) ctx ~result:Reg.k0
+      ~op_a:Reg.k1 ~op_b:Reg.k2 ~scratch:Reg.v1 ~fail:L.l_err_arith;
+    e (Insn.Mv (Reg.a0, Reg.k0));
+    e (Insn.Jal L.l_makebox);
+    e (ld Reg.ra Reg.sp 0);
+    e (addi Reg.sp Reg.sp 8);
+    e (Insn.Jr Reg.ra)
+  in
+  body ~name:L.l_gadd_entry ~op:Insn.Add;
+  body ~name:L.l_gsub_entry ~op:Insn.Sub;
+  (* Trap entries (hardware generic arithmetic, Table 2 row 4). *)
+  let trap_entry ~name ~target =
+    Emit.label ctx name;
+    e (addi Reg.sp Reg.sp (-8));
+    e (st Reg.sp Reg.ra 0);
+    e (Insn.Mv (Reg.a0, Reg.tr0));
+    e (Insn.Mv (Reg.a1, Reg.tr1));
+    e (Insn.Jal target);
+    e (ld Reg.ra Reg.sp 0);
+    e (addi Reg.sp Reg.sp 8);
+    e (Insn.Settd Reg.v0);
+    e Insn.Rett
+  in
+  trap_entry ~name:L.l_gadd_trap ~target:L.l_gadd_entry;
+  trap_entry ~name:L.l_gsub_trap ~target:L.l_gsub_entry;
+  (* Multiplicative fallbacks: integer operands are handled (needed by
+     the dispatch-first ablation of Section 6.2.2); boxed multiplication
+     is outside this system's scope and aborts. *)
+  let mul_body ~name ~op =
+    Emit.label ctx name;
+    Emit.int_test ~hint:Insn.Unlikely ctx ~src_kind:Annot.Arith_op
+      ~sense:`Is_not Reg.a0 ~scratch:Reg.k0 L.l_err_arith;
+    Emit.int_test ~hint:Insn.Unlikely ctx ~src_kind:Annot.Arith_op
+      ~sense:`Is_not Reg.a1 ~scratch:Reg.k0 L.l_err_arith;
+    (if op = Insn.Mul then begin
+       if Scheme.is_low scheme then begin
+         e (srai Reg.k0 Reg.a0 2);
+         e (Insn.Alu (Insn.Mul, Reg.v0, Reg.k0, Reg.a1))
+       end
+       else e (Insn.Alu (Insn.Mul, Reg.v0, Reg.a0, Reg.a1));
+       Emit.validity_check ctx ~result:Reg.v0 ~scratch:Reg.k0
+         ~fail:L.l_err_arith
+     end
+     else begin
+       Emit.branch ~annot:ga ~hint:Insn.Unlikely ctx Insn.Eq Reg.a1 Reg.zero
+         L.l_err_arith;
+       if Scheme.is_low scheme then begin
+         e (srai Reg.k0 Reg.a0 2);
+         e (srai Reg.k1 Reg.a1 2);
+         e (Insn.Alu (op, Reg.v0, Reg.k0, Reg.k1));
+         e (slli Reg.v0 Reg.v0 2)
+       end
+       else e (Insn.Alu (op, Reg.v0, Reg.a0, Reg.a1))
+     end);
+    e (Insn.Jr Reg.ra)
+  in
+  mul_body ~name:L.l_gmul_entry ~op:Insn.Mul;
+  mul_body ~name:L.l_gdiv_entry ~op:Insn.Div;
+  mul_body ~name:L.l_grem_entry ~op:Insn.Rem
+
+(* --- The copying collector. --- *)
+
+(* gc$fwd: a0 = item -> v0 = forwarded item.
+   Preserves k0..k3, t0, t1, t2, a0; clobbers v1, k4, t3, t4, a1.
+   Register roles during collection (set up by rt$gc):
+     k0 = Cheney scan pointer     k1 = free pointer (to-space)
+     k2 = from-space base         k3 = from-space end (old hp)
+     t2 = to-space base *)
+let emit_fwd ctx =
+  let scheme = ctx.Emit.scheme in
+  let e ?(a = g) i = Emit.emit ~annot:a ctx i in
+  let fwd_ret = "gc$fwd$ret" in
+  (* Under Low2 the two tag bits are invisible to the memory system and
+     negligible for the range comparisons, so the collector never masks;
+     Low3 must clear bit 2, and the high-tag schemes must clear the tag
+     field (honest per-scheme costs, as in a PSL-compiled collector). *)
+  let address_of ~item ~dst =
+    if scheme.Scheme.layout = Scheme.Low2 then item
+    else begin
+      Emit.emit ~annot:(Annot.make Annot.Remove) ctx
+        (Insn.Alu (Insn.And, dst, item, Reg.rmask));
+      dst
+    end
+  in
+  Emit.label ctx "gc$fwd";
+  e (Insn.Mv (Reg.v0, Reg.a0));
+  (* Immediates pass through. *)
+  Emit.int_test ctx ~src_kind:Annot.Other_op ~sense:`Is Reg.a0 ~scratch:Reg.k4
+    fwd_ret;
+  (* Raw address; not from-space -> unchanged. *)
+  let addr = address_of ~item:Reg.a0 ~dst:Reg.v1 in
+  Emit.branch ~annot:g ctx Insn.Lt addr Reg.k2 fwd_ret;
+  Emit.branch ~annot:g ctx Insn.Ge addr Reg.k3 fwd_ret;
+  (* Already forwarded?  The first word of a forwarded object is an item
+     pointing into to-space; no live item can otherwise point there. *)
+  e (ld Reg.k4 addr 0);
+  let copy = Emit.fresh ctx "gccopy" in
+  Emit.int_test ctx ~src_kind:Annot.Other_op ~sense:`Is Reg.k4
+    ~scratch:Reg.t3 copy;
+  let fwd_addr = address_of ~item:Reg.k4 ~dst:Reg.t3 in
+  Emit.branch ~annot:g ctx Insn.Lt fwd_addr Reg.t2 copy;
+  Emit.branch ~annot:g ctx Insn.Ge fwd_addr Reg.k1 copy;
+  e (Insn.Mv (Reg.v0, Reg.k4));
+  e (Insn.Jr Reg.ra);
+  Emit.label ctx copy;
+  (* Size in bytes by type. *)
+  Emit.extract_tag ctx ~src_kind:Annot.Other_op Reg.a0 ~dst:Reg.t3;
+  let vec = Emit.fresh ctx "gcvec" in
+  let sized = Emit.fresh ctx "gcsized" in
+  (match scheme.Scheme.layout with
+  | Scheme.Low2 ->
+      (* Escape tag: vector or boxnum, discriminated by subtype. *)
+      let escape = Emit.fresh ctx "gcesc" in
+      Emit.branch_i ~annot:g ctx Insn.Eq Reg.t3 3 escape;
+      (* Pair. *)
+      e (Insn.Li (Reg.t4, 8));
+      e (Insn.J sized);
+      Emit.label ctx escape;
+      e (ld Reg.t4 addr L.obj_off_subtype);
+      Emit.branch_i ~annot:g ctx Insn.Eq Reg.t4 Scheme.subtype_vector vec;
+      e (Insn.Li (Reg.t4, 8));
+      e (Insn.J sized)
+  | Scheme.Low3 | Scheme.High5 | Scheme.High6 ->
+      Emit.branch_i ~annot:g ctx Insn.Eq Reg.t3
+        (scheme.Scheme.tag Scheme.Vector) vec;
+      e (Insn.Li (Reg.t4, 8));
+      e (Insn.J sized));
+  Emit.label ctx vec;
+  e (ld Reg.t4 addr L.obj_off_length);
+  if Scheme.is_low scheme then e (addi Reg.t4 Reg.t4 8)
+  else begin
+    e (slli Reg.t4 Reg.t4 2);
+    e (addi Reg.t4 Reg.t4 8)
+  end;
+  if scheme.Scheme.obj_align = 8 then begin
+    e (addi Reg.t4 Reg.t4 7);
+    e (andi Reg.t4 Reg.t4 (-8))
+  end;
+  Emit.label ctx sized;
+  (* Copy [v1, v1+t4) to [k1, ...); a1 remembers the new base. *)
+  e (Insn.Mv (Reg.a1, Reg.k1));
+  e (Insn.Mv (Reg.t3, addr));
+  let cloop = Emit.fresh ctx "gccl" in
+  let cdone = Emit.fresh ctx "gccd" in
+  Emit.label ctx cloop;
+  Emit.branch_i ~annot:g ctx Insn.Le Reg.t4 0 cdone;
+  e (ld Reg.k4 Reg.t3 0);
+  e (st Reg.k1 Reg.k4 0);
+  e (addi Reg.t3 Reg.t3 4);
+  e (addi Reg.k1 Reg.k1 4);
+  e (addi Reg.t4 Reg.t4 (-4));
+  Emit.emit ~annot:g ctx (Insn.J cloop);
+  Emit.label ctx cdone;
+  (* New item = new base + original tag bits; plant the forwarding item. *)
+  (if scheme.Scheme.layout = Scheme.Low2 then
+     Emit.emit ~annot:(Annot.make (Annot.Extract Annot.Other_op)) ctx
+       (andi Reg.k4 Reg.a0 3)
+   else Emit.emit ~annot:g ctx (sub Reg.k4 Reg.a0 addr));
+  Emit.emit ~annot:(Annot.make Annot.Insert) ctx (add Reg.v0 Reg.a1 Reg.k4);
+  e (st addr Reg.v0 0);
+  Emit.label ctx fwd_ret;
+  e (Insn.Jr Reg.ra)
+
+let emit_gc ctx =
+  let e ?(a = g) i = Emit.emit ~annot:a ctx i in
+  Emit.label ctx L.l_gc_entry;
+  (* Save return address and all root registers. *)
+  la_st ~annot:g ctx ~scratch:Reg.k0 ~src:Reg.ra L.l_gc_ra;
+  e (Insn.La (Reg.k0, L.l_gc_regsave));
+  List.iteri
+    (fun i r -> e (st Reg.k0 r (4 * i)))
+    L.gc_saved_regs;
+  (* From-space = [gc$cur], end = hp.  To-space = the other semispace. *)
+  la_ld ~annot:g ctx ~dst:Reg.k2 L.l_gc_cur;
+  e (Insn.Mv (Reg.k3, Reg.hp));
+  la_ld ~annot:g ctx ~dst:Reg.k0 L.l_heap_a;
+  let use_b = Emit.fresh ctx "gcub" in
+  let flipped = Emit.fresh ctx "gcfl" in
+  Emit.branch ~annot:g ctx Insn.Eq Reg.k2 Reg.k0 use_b;
+  e (Insn.Mv (Reg.t2, Reg.k0));
+  e (Insn.J flipped);
+  Emit.label ctx use_b;
+  la_ld ~annot:g ctx ~dst:Reg.t2 L.l_heap_b;
+  Emit.label ctx flipped;
+  e (Insn.Mv (Reg.k1, Reg.t2));
+  e (Insn.Mv (Reg.k0, Reg.t2));
+  (* Forward a root area [t0, t1). *)
+  let scan_area () =
+    let loop = Emit.fresh ctx "gcra" in
+    let done_ = Emit.fresh ctx "gcrd" in
+    Emit.label ctx loop;
+    Emit.branch ~annot:g ctx Insn.Ge Reg.t0 Reg.t1 done_;
+    e (ld Reg.a0 Reg.t0 0);
+    e (Insn.Jal "gc$fwd");
+    e (st Reg.t0 Reg.v0 0);
+    e (addi Reg.t0 Reg.t0 4);
+    Emit.emit ~annot:g ctx (Insn.J loop);
+    Emit.label ctx done_
+  in
+  (* 1. The register save area. *)
+  e (Insn.La (Reg.t0, L.l_gc_regsave));
+  e (addi Reg.t1 Reg.t0 (4 * L.gc_regsave_words));
+  scan_area ();
+  (* 2. The stack. *)
+  e (Insn.Mv (Reg.t0, Reg.sp));
+  la_ld ~annot:g ctx ~dst:Reg.t1 L.l_stack_top;
+  scan_area ();
+  (* 3. Symbol value and property cells. *)
+  e (Insn.Mv (Reg.t0, Reg.stb));
+  la_ld ~annot:g ctx ~dst:Reg.t1 L.l_symtab_count;
+  e (slli Reg.t1 Reg.t1 4);
+  e (add Reg.t1 Reg.t0 Reg.t1);
+  let sloop = Emit.fresh ctx "gcsy" in
+  let sdone = Emit.fresh ctx "gcsd" in
+  Emit.label ctx sloop;
+  Emit.branch ~annot:g ctx Insn.Ge Reg.t0 Reg.t1 sdone;
+  e (ld Reg.a0 Reg.t0 L.sym_off_value);
+  e (Insn.Jal "gc$fwd");
+  e (st Reg.t0 Reg.v0 L.sym_off_value);
+  e (ld Reg.a0 Reg.t0 L.sym_off_plist);
+  e (Insn.Jal "gc$fwd");
+  e (st Reg.t0 Reg.v0 L.sym_off_plist);
+  e (addi Reg.t0 Reg.t0 L.sym_cell_size);
+  Emit.emit ~annot:g ctx (Insn.J sloop);
+  Emit.label ctx sdone;
+  (* 4. Cheney scan of to-space, word-granular (every to-space word is a
+     valid item: headers are small integers and box payloads are encoded
+     integers). *)
+  let cloop = Emit.fresh ctx "gcch" in
+  let cdone = Emit.fresh ctx "gcche" in
+  Emit.label ctx cloop;
+  Emit.branch ~annot:g ctx Insn.Ge Reg.k0 Reg.k1 cdone;
+  e (ld Reg.a0 Reg.k0 0);
+  e (Insn.Jal "gc$fwd");
+  e (st Reg.k0 Reg.v0 0);
+  e (addi Reg.k0 Reg.k0 4);
+  Emit.emit ~annot:g ctx (Insn.J cloop);
+  Emit.label ctx cdone;
+  (* Commit the flip: gc$cur = to-space, hp = free, hl = limit. *)
+  la_st ~annot:g ctx ~scratch:Reg.k4 ~src:Reg.t2 L.l_gc_cur;
+  e (Insn.Mv (Reg.hp, Reg.k1));
+  la_ld ~annot:g ctx ~dst:Reg.k4 L.l_semi_bytes;
+  e (add Reg.hl Reg.t2 Reg.k4);
+  e (addi Reg.hl Reg.hl (-L.heap_slack));
+  (* If the collection recovered less than one cons cell of space, the
+     retrying allocator would loop forever: give up instead. *)
+  e (addi Reg.k4 Reg.hp 8);
+  Emit.branch ~annot:g ~hint:Insn.Unlikely ctx Insn.Gt Reg.k4 Reg.hl
+    L.l_err_heap;
+  (* Counters. *)
+  e (Insn.La (Reg.k4, L.l_gc_count));
+  e (ld Reg.k3 Reg.k4 0);
+  e (addi Reg.k3 Reg.k3 1);
+  e (st Reg.k4 Reg.k3 0);
+  e (Insn.La (Reg.k4, L.l_gc_copied));
+  e (ld Reg.k3 Reg.k4 0);
+  e (sub Reg.k2 Reg.k1 Reg.t2);
+  e (add Reg.k3 Reg.k3 Reg.k2);
+  e (st Reg.k4 Reg.k3 0);
+  (* Restore roots and return. *)
+  e (Insn.La (Reg.k0, L.l_gc_regsave));
+  List.iteri
+    (fun i r -> e (ld r Reg.k0 (4 * i)))
+    L.gc_saved_regs;
+  la_ld ~annot:g ctx ~dst:Reg.ra L.l_gc_ra;
+  e (Insn.Jr Reg.ra)
+
+(* --- Startup. --- *)
+
+(** The startup sequence must be the first thing assembled (the machine
+    starts at code address 0): establish the register conventions, then
+    call [f$main] and halt with its result in v0. *)
+let emit_startup ctx ~main_label =
+  let scheme = ctx.Emit.scheme in
+  let e i = Emit.emit ctx i in
+  e (Insn.Li (Reg.rmask, scheme.Scheme.data_mask));
+  e (Insn.Li (Reg.rnil, Emit.nil_item scheme));
+  e (Insn.La (Reg.stb, L.l_symtab));
+  la_ld ctx ~dst:Reg.sp L.l_stack_top;
+  la_ld ctx ~dst:Reg.hp "lay$hp_init";
+  la_ld ctx ~dst:Reg.hl "lay$hl_init";
+  if ctx.Emit.support.Support.preshifted_pair_tag && not (Scheme.is_low scheme)
+  then
+    e (Insn.Li (Reg.k5, scheme.Scheme.tag Scheme.Pair lsl scheme.Scheme.tag_shift));
+  e (Insn.Jal main_label);
+  e Insn.Halt
+
+(* --- Static data owned by the runtime. --- *)
+
+let emit_statics ctx =
+  let b = ctx.Emit.b in
+  let word l = Buf.word ~label:l b 0 in
+  word L.l_stack_top;
+  word L.l_heap_a;
+  word L.l_heap_b;
+  word L.l_semi_bytes;
+  word "lay$hp_init";
+  word "lay$hl_init";
+  word L.l_gc_cur;
+  word L.l_gc_ra;
+  word L.l_gc_count;
+  word L.l_gc_copied;
+  Buf.space ~label:L.l_gc_regsave b L.gc_regsave_words
+
+(** Emit all runtime routines (call after the user code, so that the
+    startup sequence emitted by [emit_startup] stays at address 0). *)
+let emit_routines ctx =
+  emit_error_stubs ctx;
+  emit_mkvect ctx;
+  emit_makebox ctx;
+  emit_generic_arith ctx;
+  emit_fwd ctx;
+  emit_gc ctx;
+  emit_statics ctx

@@ -1,0 +1,15 @@
+(** Runtime system, emitted as simulated machine code so that its cycles
+    (and its tag operations) are measured exactly like user code: error
+    stubs, the vector and boxed-number allocators, the generic-arithmetic
+    fallback (call and trap entries), the two-space copying collector,
+    and the startup sequence.  See the implementation header for the
+    register discipline. *)
+
+(** Emit the startup sequence (must be the first code emitted: the
+    machine starts at address 0): establish the register conventions,
+    call [main_label] and halt with its result in v0. *)
+val emit_startup : Emit.ctx -> main_label:string -> unit
+
+(** Emit all runtime routines and the runtime's static data (call after
+    the user code). *)
+val emit_routines : Emit.ctx -> unit

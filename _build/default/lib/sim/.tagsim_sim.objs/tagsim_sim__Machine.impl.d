@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Fmt List Stats Tagsim_asm Tagsim_mipsx

@@ -1,0 +1,355 @@
+(** The instruction-level simulator.
+
+    Cost model (Section 2 of the paper): execution time is instruction
+    count.  Every instruction costs one cycle, with these exceptions, all
+    visible to the paper's accounting:
+
+    - wide immediates ([li]/[la] that do not fit the 17-bit immediate field)
+      cost two cycles, standing for the two-instruction constant sequence;
+    - multiply costs 8 and divide/remainder 16 cycles, standing for the
+      multiply-step/divide-step software sequences of MIPS-X;
+    - a load followed immediately by a use of the loaded register costs one
+      extra cycle, standing for the assembler-inserted load-delay no-op
+      (counted in the no-op class, as in Figure 2);
+    - annulled slots of squashing branches cost their cycles and are counted
+      in the squashed class (Figure 2);
+    - traps charge a fixed overhead ([trap_overhead] cycles) plus the
+      handler's own instructions. *)
+
+module Insn = Tagsim_mipsx.Insn
+module Annot = Tagsim_mipsx.Annot
+module Reg = Tagsim_mipsx.Reg
+module Word = Tagsim_mipsx.Word
+module Image = Tagsim_asm.Image
+
+exception Machine_error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
+
+(** Hardware configuration: tag geometry and the semantics of the
+    tag-aware instructions.  Supplied by the tag scheme in use. *)
+type hw = {
+  mem_bytes : int; (* power of two *)
+  tag_shift : int;
+  tag_width : int;
+  addr_mask : int; (* applied by tag-ignoring and checked memory ops *)
+  is_int_item : int -> bool; (* hardware integer test, for Add_gen *)
+  gen_overflowed : int -> int -> int -> bool;
+      (* a b result: did int arithmetic overflow the Lisp integer range? *)
+  trap_overhead : int;
+}
+
+type outcome = Halted of int | Aborted of int
+
+type t = {
+  hw : hw;
+  code : Image.entry array;
+  mem : int array;
+  regs : int array;
+  mutable pc : int;
+  mutable pending_load : int; (* register with an in-flight load, or -1 *)
+  mutable trap_dest : int; (* destination register of a trapped insn *)
+  mutable gen_add_handler : int; (* code address, -1 = none *)
+  mutable gen_sub_handler : int;
+  stats : Stats.t;
+  mutable outcome : outcome option;
+  mutable fuel : int;
+  mutable in_slot : bool; (* executing a delay-slot instruction *)
+}
+
+(* Error codes used by [Aborted]. *)
+let err_type = 1
+let err_bounds = 2
+let err_mem = 3
+let err_div0 = 4
+let err_user_base = 16 (* Trap n aborts with code err_user_base + n *)
+
+let create ?(fuel = 600_000_000) ~hw (image : Image.t) =
+  if hw.mem_bytes land (hw.mem_bytes - 1) <> 0 then
+    invalid_arg "mem_bytes must be a power of two";
+  let mem = Array.make (hw.mem_bytes / 4) 0 in
+  Array.blit image.Image.data_words 0 mem 0
+    (Array.length image.Image.data_words);
+  {
+    hw;
+    code = image.Image.code;
+    mem;
+    regs = Array.make Reg.count 0;
+    pc = 0;
+    pending_load = -1;
+    trap_dest = 0;
+    gen_add_handler = -1;
+    gen_sub_handler = -1;
+    stats = Stats.create ();
+    outcome = None;
+    fuel;
+    in_slot = false;
+  }
+
+let set_gen_handlers t ~add ~sub =
+  t.gen_add_handler <- add;
+  t.gen_sub_handler <- sub
+
+let reg t r = t.regs.(r)
+let pc t = t.pc
+let outcome t = t.outcome
+let set_reg t r v = if r <> Reg.zero then t.regs.(r) <- Word.of_int v
+let stats t = t.stats
+
+let read_word t addr =
+  let idx = addr lsr 2 in
+  if idx < 0 || idx >= Array.length t.mem then errorf "load fault at %d" addr
+  else t.mem.(idx)
+
+let write_word t addr v =
+  let idx = addr lsr 2 in
+  if idx < 0 || idx >= Array.length t.mem then errorf "store fault at %d" addr
+  else t.mem.(idx) <- Word.of_int v
+
+(** Direct memory access for the host (loader, result decoding, perf
+    counters). *)
+let peek = read_word
+
+let poke = write_word
+
+let tag_of t w = Word.field ~shift:t.hw.tag_shift ~width:t.hw.tag_width w
+
+let alu_cycles (op : Insn.alu) =
+  match op with
+  | Insn.Mul -> 8
+  | Insn.Div | Insn.Rem -> 16
+  | Insn.Add | Insn.Sub | Insn.And | Insn.Or | Insn.Xor | Insn.Nor | Insn.Slt
+  | Insn.Sltu | Insn.Sll | Insn.Srl | Insn.Sra ->
+      1
+
+let alu_eval op a b =
+  match (op : Insn.alu) with
+  | Insn.Add -> Word.add a b
+  | Insn.Sub -> Word.sub a b
+  | Insn.And -> Word.logand a b
+  | Insn.Or -> Word.logor a b
+  | Insn.Xor -> Word.logxor a b
+  | Insn.Nor -> Word.lognor a b
+  | Insn.Slt -> if Word.lt_signed a b then 1 else 0
+  | Insn.Sltu -> if Word.lt_unsigned a b then 1 else 0
+  | Insn.Sll -> Word.sll a b
+  | Insn.Srl -> Word.srl a b
+  | Insn.Sra -> Word.sra a b
+  | Insn.Mul -> Word.mul a b
+  | Insn.Div -> Word.div a b
+  | Insn.Rem -> Word.rem a b
+
+let cond_eval (c : Insn.cond) a b =
+  let sa = Word.to_signed a and sb = Word.to_signed b in
+  match c with
+  | Insn.Eq -> a = b
+  | Insn.Ne -> a <> b
+  | Insn.Lt -> sa < sb
+  | Insn.Ge -> sa >= sb
+  | Insn.Gt -> sa > sb
+  | Insn.Le -> sa <= sb
+
+let abort t code = t.outcome <- Some (Aborted code)
+
+(* Effective data address for a memory access. *)
+let effective t (mode : Insn.mem_mode) base off ~speculative =
+  let addr = Word.add base (Word.of_int off) in
+  match mode with
+  | Insn.Plain ->
+      if addr >= t.hw.mem_bytes then
+        if speculative then Some (addr land (t.hw.mem_bytes - 1))
+        else errorf "unmasked address 0x%08x at pc %d" addr t.pc
+      else Some addr
+  | Insn.Tag_ignoring -> Some (addr land t.hw.addr_mask)
+  | Insn.Checked expected ->
+      if tag_of t base <> expected then None (* type trap *)
+      else
+        (* The verified tag is subtracted (not masked) out of the address:
+           with low-order tags an index may have carried into the tag
+           field's upper bit, which a mask would corrupt. *)
+        Some
+          (Word.sub addr (expected lsl t.hw.tag_shift)
+          land (t.hw.mem_bytes - 1))
+
+(* A load-use dependence costs one no-op cycle, as if the assembler had
+   inserted a delay no-op (counted in the no-op instruction class). *)
+let interlock_check t (insn : int Insn.t) =
+  if t.pending_load >= 0 && List.mem t.pending_load (Insn.reads insn) then begin
+    t.stats.Stats.cycles <- t.stats.Stats.cycles + 1;
+    t.stats.Stats.interlocks <- t.stats.Stats.interlocks + 1;
+    Stats.count_insn t.stats Insn.K_nop
+  end;
+  t.pending_load <- -1
+
+(* Execute a non-control instruction (possibly sitting in a delay slot). *)
+let exec_simple t (e : Image.entry) =
+  let insn = e.Image.insn in
+  interlock_check t insn;
+  Stats.count_insn t.stats (Insn.klass insn);
+  let charge c = Stats.charge t.stats e.Image.annot c in
+  (match insn with
+  | Insn.Alu (op, rd, rs, rt) ->
+      let b = t.regs.(rt) in
+      if (op = Insn.Div || op = Insn.Rem) && b = 0 then abort t err_div0
+      else begin
+        charge (alu_cycles op);
+        set_reg t rd (alu_eval op t.regs.(rs) b)
+      end
+  | Insn.Alui (op, rd, rs, imm) ->
+      if (op = Insn.Div || op = Insn.Rem) && imm = 0 then abort t err_div0
+      else begin
+        charge (alu_cycles op);
+        set_reg t rd (alu_eval op t.regs.(rs) (Word.of_int imm))
+      end
+  | Insn.Li (rd, imm) ->
+      charge (Word.imm_cycles imm);
+      set_reg t rd imm
+  | Insn.La (rd, addr) ->
+      charge (Word.imm_cycles addr);
+      set_reg t rd addr
+  | Insn.Mv (rd, rs) ->
+      charge 1;
+      set_reg t rd t.regs.(rs)
+  | Insn.Ld (mode, rd, rs, off) -> (
+      charge 1;
+      match effective t mode t.regs.(rs) off ~speculative:e.Image.speculative with
+      | Some addr ->
+          set_reg t rd (read_word t addr);
+          t.pending_load <- rd
+      | None -> abort t err_type)
+  | Insn.St (mode, rs, rt, off) -> (
+      charge 1;
+      match effective t mode t.regs.(rs) off ~speculative:e.Image.speculative with
+      | Some addr -> write_word t addr t.regs.(rt)
+      | None -> abort t err_type)
+  | Insn.Add_gen (rd, rs, rt) | Insn.Sub_gen (rd, rs, rt) -> (
+      charge 1;
+      let is_add = match insn with Insn.Add_gen _ -> true | _ -> false in
+      let a = t.regs.(rs) and b = t.regs.(rt) in
+      let result = if is_add then Word.add a b else Word.sub a b in
+      let ok =
+        t.hw.is_int_item a && t.hw.is_int_item b
+        && not (t.hw.gen_overflowed a b result)
+      in
+      if ok then set_reg t rd result
+      else if t.in_slot then
+        errorf "generic-arithmetic trap in a delay slot at pc %d" t.pc
+      else
+        let handler = if is_add then t.gen_add_handler else t.gen_sub_handler in
+        if handler < 0 then abort t err_type
+        else begin
+          (* Resumable trap: operands into tr0/tr1, destination recorded,
+             return address into epc. *)
+          t.stats.Stats.traps <- t.stats.Stats.traps + 1;
+          t.stats.Stats.trap_cycles <-
+            t.stats.Stats.trap_cycles + t.hw.trap_overhead;
+          Stats.charge t.stats
+            (Annot.make ~checking:e.Image.annot.Annot.checking Annot.Garith)
+            t.hw.trap_overhead;
+          t.regs.(Reg.tr0) <- a;
+          t.regs.(Reg.tr1) <- b;
+          t.trap_dest <- rd;
+          t.regs.(Reg.epc) <- t.pc + 1;
+          t.pc <- handler - 1
+          (* -1: the main loop will advance pc by one. *)
+        end)
+  | Insn.Settd rs ->
+      charge 1;
+      set_reg t t.trap_dest t.regs.(rs)
+  | Insn.Nop -> charge 1
+  | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _ | Insn.Jr _
+  | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
+      errorf "control instruction in a delay slot at pc %d" t.pc);
+  match insn with
+  | Insn.Ld _ -> () (* pending_load already set *)
+  | _ -> t.pending_load <- -1
+
+let fetch t i =
+  if i < 0 || i >= Array.length t.code then errorf "pc out of range: %d" i
+  else t.code.(i)
+
+(* Execute the instruction at [t.pc]; advances [t.pc]. *)
+let step t =
+  let e = fetch t t.pc in
+  let insn = e.Image.insn in
+  let charge c = Stats.charge t.stats e.Image.annot c in
+  let exec_slots () =
+    (* Slots run with pc conceptually past the branch; aborts inside a slot
+       stop execution before the jump. *)
+    let s1 = fetch t (t.pc + 1) and s2 = fetch t (t.pc + 2) in
+    t.in_slot <- true;
+    exec_simple t s1;
+    if t.outcome = None then exec_simple t s2;
+    t.in_slot <- false
+  in
+  let squash_slots () =
+    t.stats.Stats.squashed <- t.stats.Stats.squashed + 2;
+    t.stats.Stats.cycles <- t.stats.Stats.cycles + 2;
+    let s = Stats.slot e.Image.annot in
+    t.stats.Stats.kind_cycles.(s) <- t.stats.Stats.kind_cycles.(s) + 2
+  in
+  let branch_to ~taken ~squash target =
+    interlock_check t insn;
+    Stats.count_insn t.stats (Insn.klass insn);
+    charge 1;
+    if squash && not taken then squash_slots () else exec_slots ();
+    if t.outcome = None then t.pc <- (if taken then target else t.pc + 3)
+  in
+  match insn with
+  | Insn.B (b, target) ->
+      let taken = cond_eval b.Insn.cond t.regs.(b.Insn.rs) t.regs.(b.Insn.rt) in
+      branch_to ~taken ~squash:b.Insn.squash target
+  | Insn.Bi (b, target) ->
+      let taken =
+        cond_eval b.Insn.bi_cond t.regs.(b.Insn.bi_rs)
+          (Word.of_int b.Insn.bi_imm)
+      in
+      branch_to ~taken ~squash:b.Insn.bi_squash target
+  | Insn.Btag (b, target) ->
+      let tag = tag_of t t.regs.(b.Insn.bt_rs) in
+      let taken = if b.Insn.bt_neg then tag <> b.Insn.bt_tag
+                  else tag = b.Insn.bt_tag in
+      branch_to ~taken ~squash:b.Insn.bt_squash target
+  | Insn.J target -> branch_to ~taken:true ~squash:false target
+  | Insn.Jal target ->
+      set_reg t Reg.ra (t.pc + 3);
+      branch_to ~taken:true ~squash:false target
+  | Insn.Jr rs ->
+      let target = t.regs.(rs) in
+      branch_to ~taken:true ~squash:false target
+  | Insn.Jalr rs ->
+      let target = t.regs.(rs) in
+      set_reg t Reg.ra (t.pc + 3);
+      branch_to ~taken:true ~squash:false target
+  | Insn.Rett ->
+      interlock_check t insn;
+      Stats.count_insn t.stats (Insn.klass insn);
+      charge 1;
+      t.pc <- t.regs.(Reg.epc)
+  | Insn.Trap code ->
+      interlock_check t insn;
+      Stats.count_insn t.stats (Insn.klass insn);
+      charge 1;
+      abort t (err_user_base + code)
+  | Insn.Halt ->
+      Stats.count_insn t.stats (Insn.klass insn);
+      charge 1;
+      t.outcome <- Some (Halted t.regs.(Reg.v0))
+  | Insn.Alu _ | Insn.Alui _ | Insn.Li _ | Insn.La _ | Insn.Mv _ | Insn.Ld _
+  | Insn.St _ | Insn.Add_gen _ | Insn.Sub_gen _ | Insn.Settd _ | Insn.Nop ->
+      exec_simple t e;
+      t.pc <- t.pc + 1
+
+exception Out_of_fuel
+
+let run t =
+  let rec loop () =
+    match t.outcome with
+    | Some o -> o
+    | None ->
+        if t.fuel <= 0 then raise Out_of_fuel;
+        t.fuel <- t.fuel - 1;
+        step t;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,68 @@
+(** The instruction-level simulator.  Cost model: one cycle per
+    instruction, with the deviations documented in the implementation
+    header (wide immediates, multiply/divide, load-use interlocks,
+    squashed slots, trap overhead) — all of them visible to the paper's
+    cycle accounting. *)
+
+module Image := Tagsim_asm.Image
+
+exception Machine_error of string
+
+(** Hardware configuration: tag geometry and the semantics of the
+    tag-aware instructions.  Supplied by the tag scheme in use
+    (see {!Tagsim_tags.Scheme.machine_hw}). *)
+type hw = {
+  mem_bytes : int; (* power of two *)
+  tag_shift : int;
+  tag_width : int;
+  addr_mask : int; (* applied by tag-ignoring and checked memory ops *)
+  is_int_item : int -> bool; (* hardware integer test, for Add_gen *)
+  gen_overflowed : int -> int -> int -> bool;
+  trap_overhead : int;
+}
+
+type outcome = Halted of int | Aborted of int
+
+type t
+
+(** {1 Abort codes} *)
+
+val err_type : int
+val err_bounds : int
+val err_mem : int
+val err_div0 : int
+
+(** [Trap n] aborts with code [err_user_base + n]. *)
+val err_user_base : int
+
+(** {1 Lifecycle} *)
+
+val create : ?fuel:int -> hw:hw -> Image.t -> t
+
+(** Register the trap handlers for hardware generic arithmetic. *)
+val set_gen_handlers : t -> add:int -> sub:int -> unit
+
+val reg : t -> int -> int
+
+(** Current program counter (an instruction index). *)
+val pc : t -> int
+
+(** Termination state, if the machine has stopped. *)
+val outcome : t -> outcome option
+
+val set_reg : t -> int -> int -> unit
+val stats : t -> Stats.t
+
+(** Direct memory access for the host (loader, result decoding,
+    performance counters).  Addresses are byte addresses. *)
+val peek : t -> int -> int
+
+val poke : t -> int -> int -> unit
+
+(** Execute one instruction (including its delay slots). *)
+val step : t -> unit
+
+exception Out_of_fuel
+
+(** Run to completion. *)
+val run : t -> outcome

@@ -1,0 +1,111 @@
+(** Execution statistics: cycles classified by annotation (Section 3 of the
+    paper) and instruction frequencies classified by instruction class
+    (Figure 2). *)
+
+module Annot = Tagsim_mipsx.Annot
+module Insn = Tagsim_mipsx.Insn
+
+(* Dense code for annotation kinds. *)
+let kind_code (k : Annot.kind) =
+  match k with
+  | Annot.Plain -> 0
+  | Annot.Insert -> 1
+  | Annot.Remove -> 2
+  | Annot.Extract s -> 3 + Annot.source_index s
+  | Annot.Check s -> 9 + Annot.source_index s
+  | Annot.Garith -> 15
+  | Annot.Alloc -> 16
+  | Annot.Gc_work -> 17
+  | Annot.Slot_fill -> 18
+
+let n_kind_codes = 19
+
+type t = {
+  mutable cycles : int;
+  mutable insns : int; (* executed instructions, including slot no-ops *)
+  kind_cycles : int array; (* [n_kind_codes * 2]: (kind, checking) *)
+  klass_insns : int array; (* Insn.n_klasses *)
+  mutable squashed : int; (* annulled slot instructions (cycles) *)
+  mutable interlocks : int; (* load-use interlock cycles *)
+  mutable traps : int;
+  mutable trap_cycles : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    insns = 0;
+    kind_cycles = Array.make (n_kind_codes * 2) 0;
+    klass_insns = Array.make Insn.n_klasses 0;
+    squashed = 0;
+    interlocks = 0;
+    traps = 0;
+    trap_cycles = 0;
+  }
+
+let slot (a : Annot.t) =
+  (kind_code a.Annot.kind * 2) + if a.Annot.checking then 1 else 0
+
+let charge t (a : Annot.t) cycles =
+  t.cycles <- t.cycles + cycles;
+  t.kind_cycles.(slot a) <- t.kind_cycles.(slot a) + cycles
+
+let count_insn t klass =
+  t.insns <- t.insns + 1;
+  let i = Insn.klass_index klass in
+  t.klass_insns.(i) <- t.klass_insns.(i) + 1
+
+(* --- Accessors used by the analysis layer. --- *)
+
+let total t = t.cycles
+let executed_insns t = t.insns
+
+(** Cycles charged to a kind.  [checking] selects instructions that exist
+    only because run-time checking is on ([Some true]), only base
+    instructions ([Some false]), or both ([None]). *)
+let kind ?checking t (k : Annot.kind) =
+  let c = kind_code k in
+  match checking with
+  | Some true -> t.kind_cycles.((c * 2) + 1)
+  | Some false -> t.kind_cycles.(c * 2)
+  | None -> t.kind_cycles.(c * 2) + t.kind_cycles.((c * 2) + 1)
+
+let sum_kinds ?checking t kinds =
+  List.fold_left (fun acc k -> acc + kind ?checking t k) 0 kinds
+
+let insertion ?checking t = kind ?checking t Annot.Insert
+let removal ?checking t = kind ?checking t Annot.Remove
+
+let extraction ?checking t =
+  sum_kinds ?checking t
+    (List.map (fun s -> Annot.Extract s) Annot.all_sources)
+
+(** Cycles of the compare-and-branch part of checks (excluding extraction);
+    the paper's "tag checking" cost is [extraction + check_only]. *)
+let check_only ?checking ?source t =
+  match source with
+  | Some s -> kind ?checking t (Annot.Check s)
+  | None ->
+      sum_kinds ?checking t
+        (List.map (fun s -> Annot.Check s) Annot.all_sources)
+
+let extraction_of ?checking t s = kind ?checking t (Annot.Extract s)
+
+(** Full tag-checking cost for a source: extraction plus compare/branch. *)
+let checking_of ?checking t s =
+  extraction_of ?checking t s + kind ?checking t (Annot.Check s)
+
+let tag_checking ?checking t = extraction ?checking t + check_only ?checking t
+let generic_arith ?checking t = kind ?checking t Annot.Garith
+let alloc t = kind t Annot.Alloc
+let gc t = kind t Annot.Gc_work
+
+let klass_count t k = t.klass_insns.(Insn.klass_index k)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>cycles %d (insns %d, squashed %d, interlocks %d, traps %d)@,\
+     insert %d  remove %d  extract %d  check %d  garith %d  alloc %d  gc %d@]"
+    t.cycles t.insns t.squashed t.interlocks t.traps (insertion t)
+    (removal t) (extraction t) (check_only t) (generic_arith t) (alloc t)
+    (gc t)

@@ -1,0 +1,55 @@
+(** Execution statistics: cycles classified by annotation (Section 3 of
+    the paper) and instruction frequencies classified by class
+    (Figure 2). *)
+
+module Annot := Tagsim_mipsx.Annot
+module Insn := Tagsim_mipsx.Insn
+
+type t = {
+  mutable cycles : int;
+  mutable insns : int; (* executed instructions, including slot no-ops *)
+  kind_cycles : int array; (* (kind, checking)-indexed cycle counters *)
+  klass_insns : int array; (* instruction counts per class *)
+  mutable squashed : int; (* annulled slot instructions (cycles) *)
+  mutable interlocks : int; (* load-use interlock cycles *)
+  mutable traps : int;
+  mutable trap_cycles : int;
+}
+
+val create : unit -> t
+
+(** Index into [kind_cycles] for an annotation. *)
+val slot : Annot.t -> int
+
+val charge : t -> Annot.t -> int -> unit
+val count_insn : t -> Insn.klass -> unit
+
+(** {1 Accessors used by the analysis layer} *)
+
+val total : t -> int
+val executed_insns : t -> int
+
+(** Cycles charged to a kind.  [checking] selects instructions that exist
+    only because run-time checking is on ([Some true]), only base
+    instructions ([Some false]), or both ([None], the default). *)
+val kind : ?checking:bool -> t -> Annot.kind -> int
+
+val insertion : ?checking:bool -> t -> int
+val removal : ?checking:bool -> t -> int
+val extraction : ?checking:bool -> t -> int
+
+(** Compare-and-branch cycles of checks (excluding extraction); the
+    paper's "tag checking" cost is [extraction + check_only]. *)
+val check_only : ?checking:bool -> ?source:Annot.source -> t -> int
+
+val extraction_of : ?checking:bool -> t -> Annot.source -> int
+
+(** Full tag-checking cost for a source: extraction plus compare/branch. *)
+val checking_of : ?checking:bool -> t -> Annot.source -> int
+
+val tag_checking : ?checking:bool -> t -> int
+val generic_arith : ?checking:bool -> t -> int
+val alloc : t -> int
+val gc : t -> int
+val klass_count : t -> Insn.klass -> int
+val pp : Format.formatter -> t -> unit

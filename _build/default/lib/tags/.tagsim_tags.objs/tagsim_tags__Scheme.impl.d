@@ -1,0 +1,1 @@
+lib/tags/scheme.ml: List Printf Tagsim_mipsx Tagsim_sim

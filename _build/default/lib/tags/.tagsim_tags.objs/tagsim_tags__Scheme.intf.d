@@ -1,0 +1,1 @@
+lib/tags/scheme.mli: Tagsim_sim

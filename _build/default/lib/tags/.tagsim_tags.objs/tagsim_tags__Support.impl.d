@@ -1,0 +1,1 @@
+lib/tags/support.ml: List String

@@ -1,0 +1,1 @@
+lib/tags/support.mli:

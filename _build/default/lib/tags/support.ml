@@ -1,0 +1,82 @@
+(** Hardware/software support configuration: which of the paper's
+    mechanisms the generated code may rely on.  Together with a
+    {!Scheme.t}, this determines the code the compiler emits; the rows of
+    Table 2 are particular values of this record. *)
+
+type parallel_check = Pc_none | Pc_lists | Pc_all
+
+type t = {
+  runtime_checking : bool;
+      (** full run-time error checking on primitive operations (Section 3) *)
+  tag_ignoring_mem : bool;
+      (** loads/stores that drop the tag bits of the address: no software
+          tag removal needed (Table 2 row 1, hardware variant) *)
+  tag_branch : bool;
+      (** conditional branch on the tag field, without extraction
+          (Section 6.1, Table 2 row 2) *)
+  hw_generic_arith : bool;
+      (** add/sub that check tags and overflow in parallel and trap to a
+          software fallback (Section 6.2.2, Table 2 row 4) *)
+  parallel_check : parallel_check;
+      (** memory operations that check the tag of the address operand in
+          parallel with the address calculation (Section 6.2.1, Table 2
+          rows 5 and 6) *)
+  preshifted_pair_tag : bool;
+      (** Section 3.1 ablation: keep a preshifted pair tag in a register,
+          reducing cons tag insertion from two cycles to one *)
+  int_biased_arith : bool;
+      (** integer-biased generic arithmetic (Section 2.2); when false,
+          arithmetic always calls the general dispatch routine *)
+}
+
+let software =
+  {
+    runtime_checking = false;
+    tag_ignoring_mem = false;
+    tag_branch = false;
+    hw_generic_arith = false;
+    parallel_check = Pc_none;
+    preshifted_pair_tag = false;
+    int_biased_arith = true;
+  }
+
+let with_checking t = { t with runtime_checking = true }
+
+(* The rows of Table 2 (applied on top of the base scheme; row 1's software
+   variant is expressed by compiling with a low-tag scheme instead). *)
+let row1_hw = { software with tag_ignoring_mem = true }
+let row2 = { software with tag_branch = true }
+let row3 = { software with tag_ignoring_mem = true; tag_branch = true }
+let row4 = { software with hw_generic_arith = true }
+let row5 = { software with parallel_check = Pc_lists }
+let row6 = { software with parallel_check = Pc_all }
+
+let row7 =
+  {
+    software with
+    tag_ignoring_mem = true;
+    tag_branch = true;
+    hw_generic_arith = true;
+    parallel_check = Pc_all;
+  }
+
+(* SPUR (Section 7): row 7 but with parallel checking on list accesses
+   only. *)
+let spur = { row7 with parallel_check = Pc_lists }
+
+let describe t =
+  let flags =
+    [
+      (t.runtime_checking, "rtc");
+      (t.tag_ignoring_mem, "ti-mem");
+      (t.tag_branch, "tag-branch");
+      (t.hw_generic_arith, "hw-garith");
+      (t.parallel_check = Pc_lists, "pc-lists");
+      (t.parallel_check = Pc_all, "pc-all");
+      (t.preshifted_pair_tag, "preshift");
+      (not t.int_biased_arith, "dispatch-arith");
+    ]
+  in
+  match List.filter_map (fun (b, s) -> if b then Some s else None) flags with
+  | [] -> "software"
+  | l -> String.concat "+" l

@@ -1,0 +1,43 @@
+(** Hardware/software support configuration: which of the paper's
+    mechanisms the generated code may rely on.  Together with a
+    {!Scheme.t} this determines the code the compiler emits; the rows of
+    Table 2 are particular values of this record. *)
+
+type parallel_check = Pc_none | Pc_lists | Pc_all
+
+type t = {
+  runtime_checking : bool;
+      (** full run-time error checking on primitive operations *)
+  tag_ignoring_mem : bool;
+      (** loads/stores that drop the tag bits of the address (row 1) *)
+  tag_branch : bool;
+      (** conditional branch on the tag field, without extraction (row 2) *)
+  hw_generic_arith : bool;
+      (** add/sub that check tags and overflow in parallel and trap (row 4) *)
+  parallel_check : parallel_check;
+      (** memory operations that check the address operand's tag in
+          parallel with the address calculation (rows 5 and 6) *)
+  preshifted_pair_tag : bool;
+      (** Section 3.1 ablation: a preshifted pair tag in a register *)
+  int_biased_arith : bool;
+      (** integer-biased generic arithmetic (Section 2.2); when false,
+          every arithmetic operation calls the general dispatch routine *)
+}
+
+val software : t
+val with_checking : t -> t
+
+(** {1 The rows of Table 2} *)
+
+val row1_hw : t
+val row2 : t
+val row3 : t
+val row4 : t
+val row5 : t
+val row6 : t
+val row7 : t
+
+(** Section 7: row 7 but with parallel checking on list accesses only. *)
+val spur : t
+
+val describe : t -> string

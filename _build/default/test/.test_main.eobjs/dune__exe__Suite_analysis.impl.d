@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Lazy List Printf String Tagsim

@@ -1,0 +1,1 @@
+test/suite_benchmarks.ml: Alcotest List Option Printf Tagsim Tagsim_programs

@@ -1,0 +1,1 @@
+test/suite_configs.ml: Alcotest List Option Printf Tagsim

@@ -1,0 +1,1 @@
+test/suite_costs.ml: Alcotest Printf Tagsim

@@ -1,0 +1,1 @@
+test/suite_differential.ml: Alcotest Buffer List QCheck QCheck_alcotest Tagsim

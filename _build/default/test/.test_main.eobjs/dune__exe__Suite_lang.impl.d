@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest List Printf Tagsim

@@ -1,0 +1,1 @@
+test/suite_props.ml: List Printf QCheck QCheck_alcotest String Tagsim Test

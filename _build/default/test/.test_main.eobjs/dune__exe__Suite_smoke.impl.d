@@ -1,0 +1,1 @@
+test/suite_smoke.ml: Alcotest Tagsim

@@ -1,0 +1,1 @@
+test/suite_units.ml: Alcotest Array Fmt Hashtbl List Printf Tagsim

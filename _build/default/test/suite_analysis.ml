@@ -1,0 +1,176 @@
+(* Sanity checks over the experiment layer: each regenerated artifact
+   must exhibit the paper's structural facts (not its exact numbers). *)
+
+module T1 = Tagsim.Analysis.Table1
+module T2 = Tagsim.Analysis.Table2
+module T3 = Tagsim.Analysis.Table3
+module F1 = Tagsim.Analysis.Figure1
+module F2 = Tagsim.Analysis.Figure2
+module G = Tagsim.Analysis.Garith
+module Profile = Tagsim.Analysis.Profile
+module Ablations = Tagsim.Analysis.Ablations
+
+let t1 = lazy (T1.measure ())
+let t2 = lazy (T2.measure ())
+let f1 = lazy (F1.measure ())
+let f2 = lazy (F2.measure ())
+let g = lazy (G.measure ())
+
+let find_row name =
+  List.find (fun (r : T1.row) -> r.T1.name = name) (Lazy.force t1).T1.rows
+
+let test_table1_shape () =
+  let t = Lazy.force t1 in
+  (* checking always costs time *)
+  List.iter
+    (fun (r : T1.row) ->
+      Alcotest.(check bool) (r.T1.name ^ " positive") true (r.T1.total > 0.0))
+    t.T1.rows;
+  (* the paper's outliers *)
+  let total n = (find_row n).T1.total in
+  (* the paper's top two (trav and opt, the vector users) are ours too *)
+  let sorted =
+    List.sort
+      (fun (a : T1.row) (b : T1.row) -> compare b.T1.total a.T1.total)
+      t.T1.rows
+  in
+  let top2 = List.map (fun (r : T1.row) -> r.T1.name) [ List.nth sorted 0; List.nth sorted 1 ] in
+  Alcotest.(check bool) "trav and opt are the two most affected" true
+    (List.mem "trav" top2 && List.mem "opt" top2);
+  ignore total;
+  let min_total =
+    List.fold_left
+      (fun m (r : T1.row) -> min m r.T1.total)
+      infinity t.T1.rows
+  in
+  Alcotest.(check bool) "dedgc is the least affected" true
+    ((find_row "dedgc").T1.total = min_total);
+  Alcotest.(check bool) "trav is vector-dominated" true
+    ((find_row "trav").T1.vector > (find_row "trav").T1.list);
+  (* list checking dominates for the majority of the programs *)
+  let list_dominated =
+    List.length
+      (List.filter
+         (fun (r : T1.row) ->
+           r.T1.list >= r.T1.arith && r.T1.list >= r.T1.vector)
+         t.T1.rows)
+  in
+  Alcotest.(check bool) "list checking dominates for most programs" true
+    (list_dominated >= 6)
+
+let test_figure1_shape () =
+  let f = Lazy.force f1 in
+  (* insertion is negligible; checking dominates; removal's share falls
+     when checking is added *)
+  Alcotest.(check bool) "insertion < 2%" true (f.F1.insertion.F1.without < 2.0);
+  Alcotest.(check bool) "checking dominates" true
+    (f.F1.checking.F1.with_ > f.F1.removal.F1.with_
+    && f.F1.checking.F1.with_ > f.F1.insertion.F1.with_);
+  Alcotest.(check bool) "removal share falls under rtc" true
+    (f.F1.removal.F1.with_ < f.F1.removal.F1.without);
+  Alcotest.(check bool) "insertion/removal not added by rtc" true
+    (f.F1.insertion.F1.added = 0.0 && f.F1.removal.F1.added = 0.0);
+  (* the 22-32% band of the paper, loosely *)
+  let lo = Tagsim.Analysis.Run.mean f.F1.total_without in
+  let hi = Tagsim.Analysis.Run.mean f.F1.total_with in
+  Alcotest.(check bool)
+    (Printf.sprintf "total tag handling band %.1f..%.1f" lo hi)
+    true
+    (lo > 8.0 && lo < 30.0 && hi > lo && hi < 45.0)
+
+let test_figure2_shape () =
+  let f = Lazy.force f2 in
+  Alcotest.(check bool) "and instructions drop" true (f.F2.and_ > 1.0);
+  Alcotest.(check bool) "total drops" true (f.F2.total > 1.0);
+  Alcotest.(check bool) "cycle speedup in the 3-8% band" true
+    (f.F2.cycle_speedup > 3.0 && f.F2.cycle_speedup < 8.0);
+  Alcotest.(check bool) "noops increase (slots lost their filler)" true
+    (f.F2.noop <= 0.0)
+
+let test_table2_shape () =
+  let t = Lazy.force t2 in
+  (* parallel checking buys nothing without run-time checking *)
+  Alcotest.(check (float 0.01)) "row5 nothing w/o rtc" 0.0
+    t.T2.row5.T2.d_total.T2.no_rtc;
+  Alcotest.(check (float 0.01)) "row6 nothing w/o rtc" 0.0
+    t.T2.row6.T2.d_total.T2.no_rtc;
+  Alcotest.(check (float 0.01)) "row4 nothing w/o rtc" 0.0 t.T2.row4.T2.no_rtc;
+  (* monotonicity *)
+  Alcotest.(check bool) "row5 <= row6 <= row7 (rtc)" true
+    (t.T2.row5.T2.d_total.T2.rtc <= t.T2.row6.T2.d_total.T2.rtc
+    && t.T2.row6.T2.d_total.T2.rtc <= t.T2.row7.T2.d_total.T2.rtc);
+  Alcotest.(check bool) "spur <= row7 (rtc)" true
+    (t.T2.spur.T2.rtc <= t.T2.row7.T2.d_total.T2.rtc);
+  Alcotest.(check bool) "row3 beats row2 (no rtc)" true
+    (t.T2.row3.T2.no_rtc >= t.T2.row2.T2.no_rtc);
+  (* the paper's headline: the full hardware is worth 9-22%-ish *)
+  Alcotest.(check bool) "row7 rtc in the 15-30 band" true
+    (t.T2.row7.T2.d_total.T2.rtc > 15.0 && t.T2.row7.T2.d_total.T2.rtc < 30.0)
+
+let test_table3_shape () =
+  List.iter
+    (fun (r : T3.row) ->
+      Alcotest.(check bool) (r.T3.name ^ " has code") true
+        (r.T3.procedures > 0 && r.T3.source_lines > 10
+       && r.T3.object_words > 300))
+    (T3.measure ())
+
+let test_garith_shape () =
+  let g = Lazy.force g in
+  Alcotest.(check bool) "high6 cheapens generic arithmetic" true
+    (g.G.avg_high6 < g.G.avg_high5);
+  Alcotest.(check bool) "dispatch-first costs time" true
+    (g.G.dispatch_increase > 0.0);
+  Alcotest.(check bool) "preshift saves a little (0..2%)" true
+    (g.G.preshift_speedup >= 0.0 && g.G.preshift_speedup < 2.0);
+  Alcotest.(check bool) "low tags worth roughly the paper's 5.7%" true
+    (g.G.low2_speedup > 3.0 && g.G.low2_speedup < 12.0)
+
+let test_profile () =
+  let rows =
+    Profile.measure ~scheme:Tagsim.Scheme.high5
+      ~support:Tagsim.Support.software
+      (Tagsim.Benchmarks.find "dedgc")
+  in
+  let share prefix =
+    List.fold_left
+      (fun acc (r : Profile.row) ->
+        if
+          String.length r.Profile.label >= String.length prefix
+          && String.sub r.Profile.label 0 (String.length prefix) = prefix
+        then acc +. r.Profile.share
+        else acc)
+      0.0 rows
+  in
+  let gc_share = share "gc$" +. share "rt$gc" in
+  Alcotest.(check bool)
+    (Printf.sprintf "dedgc collector region share %.1f in [30, 70]" gc_share)
+    true
+    (gc_share > 30.0 && gc_share < 70.0);
+  (* shares sum to 100 *)
+  let total = List.fold_left (fun a (r : Profile.row) -> a +. r.Profile.share) 0.0 rows in
+  Alcotest.(check bool) "profile sums to 100%" true
+    (abs_float (total -. 100.0) < 0.5)
+
+let test_sched_ablation_ordering () =
+  let a = Ablations.measure () in
+  Alcotest.(check bool) "hoisting helps" true (a.Ablations.hoist_only < a.Ablations.none);
+  Alcotest.(check bool) "filling helps further" true
+    (a.Ablations.hoist_fill <= a.Ablations.hoist_only);
+  Alcotest.(check bool) "squashing helps further" true
+    (a.Ablations.full <= a.Ablations.hoist_fill)
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "table1-shape" `Slow test_table1_shape;
+        Alcotest.test_case "figure1-shape" `Slow test_figure1_shape;
+        Alcotest.test_case "figure2-shape" `Slow test_figure2_shape;
+        Alcotest.test_case "table2-shape" `Slow test_table2_shape;
+        Alcotest.test_case "table3-shape" `Quick test_table3_shape;
+        Alcotest.test_case "garith-shape" `Slow test_garith_shape;
+        Alcotest.test_case "profile" `Quick test_profile;
+        Alcotest.test_case "sched-ablation" `Slow test_sched_ablation_ordering;
+      ] );
+  ]

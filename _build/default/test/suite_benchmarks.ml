@@ -1,0 +1,126 @@
+(* Benchmark validation: every one of the paper's ten programs must
+   produce its expected value under every tag scheme, with checking off
+   and on, and under the full-hardware configuration.  Also validates the
+   benchmark-specific properties the paper calls out (dedgc spends about
+   half its time collecting; trav is vector-dominated; rat is
+   arithmetic-heavy) and cross-checks rat against an exact reference
+   computation in OCaml. *)
+
+module P = Tagsim.Program
+module B = Tagsim.Benchmarks
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Stats = Tagsim.Stats
+
+let run e ~scheme ~support =
+  let _, r =
+    P.run_source ~scheme ~support ~sizes:e.B.sizes e.B.source
+  in
+  (match r.P.abort with
+  | Some m -> Alcotest.failf "%s aborted (%s): %s" e.B.name scheme.Scheme.name m
+  | None -> ());
+  r
+
+let value r = P.hval_to_string (Option.get r.P.value)
+
+let check_benchmark e () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun support ->
+          let r = run e ~scheme ~support in
+          Alcotest.(check string)
+            (Printf.sprintf "%s [%s/%s]" e.B.name scheme.Scheme.name
+               (Support.describe support))
+            e.B.expected (value r))
+        [
+          Support.software;
+          Support.with_checking Support.software;
+          Support.with_checking Support.row7;
+        ])
+    Scheme.all
+
+let test_dedgc_gc_share () =
+  let e = B.find "dedgc" in
+  let r = run e ~scheme:Scheme.high5 ~support:Support.software in
+  let share =
+    float_of_int (Stats.gc r.P.stats) /. float_of_int (Stats.total r.P.stats)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dedgc gc share %.2f in [0.30, 0.65]" share)
+    true
+    (share >= 0.30 && share <= 0.65);
+  Alcotest.(check bool) "dedgc collects a lot" true (r.P.gc_collections >= 10);
+  (* deduce itself, with the normal heap, does not collect. *)
+  let d = B.find "deduce" in
+  let rd = run d ~scheme:Scheme.high5 ~support:Support.software in
+  Alcotest.(check int) "deduce does not collect" 0 rd.P.gc_collections
+
+let test_trav_vector_dominated () =
+  let e = B.find "trav" in
+  let support = Support.with_checking Support.software in
+  let r = run e ~scheme:Scheme.high5 ~support in
+  let vec = Stats.checking_of r.P.stats Tagsim.Annot.Vector_op in
+  let lst = Stats.checking_of r.P.stats Tagsim.Annot.List_op in
+  Alcotest.(check bool) "trav: vector checks dominate list checks" true
+    (vec > 2 * lst)
+
+let test_rat_arith_heavy () =
+  let e = B.find "rat" in
+  let support = Support.with_checking Support.software in
+  let r = run e ~scheme:Scheme.high5 ~support in
+  let arith = Stats.checking_of r.P.stats Tagsim.Annot.Arith_op in
+  List.iter
+    (fun other ->
+      let oe = B.find other in
+      let ro = run oe ~scheme:Scheme.high5 ~support in
+      let oa =
+        float_of_int (Stats.checking_of ro.P.stats Tagsim.Annot.Arith_op)
+        /. float_of_int (Stats.total ro.P.stats)
+      in
+      let ra =
+        float_of_int arith /. float_of_int (Stats.total r.P.stats)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rat arith share (%.3f) > %s's (%.3f)" ra other oa)
+        true (ra > oa))
+    [ "inter"; "deduce"; "brow"; "boyer" ]
+
+(* Exact reference for rat, in OCaml arbitrary-precision-enough ints:
+   f(x) = (x^2 - 3x + 5) / (x + 2) at x = (k+1)/(k+2). *)
+let test_rat_reference () =
+  let s = ref 0 in
+  for _rep = 1 to 6 do
+    for k = 0 to 39 do
+      let a = k + 1 and b = k + 2 in
+      let num = (a * a) - (3 * a * b) + (5 * b * b) in
+      let den = b * (a + (2 * b)) in
+      s := !s + (4000 * num / den)
+    done
+  done;
+  (* two Newton steps from 3/2 for x^2 - 2 *)
+  let x_num, x_den = (577, 408) in
+  let expected = Printf.sprintf "(%d %d)" (!s / 240) (4000 * x_num / x_den) in
+  Alcotest.(check string) "rat reference" (B.find "rat").B.expected expected
+
+let test_trav_reference () =
+  (* see lib/programs/trav.ml: the expected value is derived there *)
+  Alcotest.(check string) "trav reference" (B.find "trav").B.expected
+    Tagsim_programs.Trav.expected
+
+let suite =
+  [
+    ( "benchmarks",
+      List.map
+        (fun e ->
+          Alcotest.test_case e.B.name `Slow (check_benchmark e))
+        (B.all ())
+      @ [
+          Alcotest.test_case "dedgc-gc-share" `Quick test_dedgc_gc_share;
+          Alcotest.test_case "trav-vector-dominated" `Quick
+            test_trav_vector_dominated;
+          Alcotest.test_case "rat-arith-heavy" `Quick test_rat_arith_heavy;
+          Alcotest.test_case "rat-reference" `Quick test_rat_reference;
+          Alcotest.test_case "trav-reference" `Quick test_trav_reference;
+        ] );
+  ]

@@ -1,0 +1,217 @@
+(* Configuration-invariance tests: every hardware-support configuration of
+   Table 2 (plus the ablations) must compute exactly the same values; only
+   the cycle counts may differ.  Also checks the expected cycle-count
+   orderings (e.g. hardware support never makes a program slower). *)
+
+module P = Tagsim.Program
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Stats = Tagsim.Stats
+module Sched = Tagsim.Sched
+
+let supports_no_rtc =
+  [
+    ("software", Support.software);
+    ("row1-hw", Support.row1_hw);
+    ("row2", Support.row2);
+    ("row3", Support.row3);
+    ("row4", Support.row4);
+    ("row5", Support.row5);
+    ("row6", Support.row6);
+    ("row7", Support.row7);
+    ("spur", Support.spur);
+    ("preshift", { Support.software with Support.preshifted_pair_tag = true });
+  ]
+
+let all_supports =
+  supports_no_rtc
+  @ List.map
+      (fun (n, s) -> (n ^ "+rtc", Support.with_checking s))
+      supports_no_rtc
+  @ [
+      ( "dispatch+rtc",
+        Support.with_checking
+          { Support.software with Support.int_biased_arith = false } );
+    ]
+
+(* A program exercising lists, vectors, symbols, arithmetic, recursion and
+   allocation all at once. *)
+let workload =
+  "(de tree (n) (if (< n 2) (cons n nil) (cons (tree (- n 1)) (tree (- n \
+   2)))))\n\
+   (de count (x) (if (pairp x) (+ (count (car x)) (count (cdr x))) (if \
+   (numberp x) 1 0)))\n\
+   (de main ()\n\
+  \  (let ((v (mkvect 10)) (s 0))\n\
+  \    (dotimes (i 10) (putv v i (tree (+ i 1))))\n\
+  \    (reclaim)\n\
+  \    (dotimes (i 10) (putv v i (tree (+ i 1))))\n\
+  \    (dotimes (i 10) (setq s (+ s (count (getv v i)))))\n\
+  \    (put 'result 'count s)\n\
+  \    (+ (get 'result 'count) (length (list 1 2 3)))))"
+
+let expected = "234"
+
+let run ~scheme ~support ?(sched = Sched.default) () =
+  let t, result =
+    P.run_source ~scheme ~support ~sched
+      ~sizes:{ Tagsim.Layout.stack_bytes = 1 lsl 16; semi_bytes = 1 lsl 14 }
+      workload
+  in
+  ignore t;
+  (match result.P.abort with
+  | Some msg -> Alcotest.failf "aborted (%s): %s" scheme.Scheme.name msg
+  | None -> ());
+  (result, P.hval_to_string (Option.get result.P.value))
+
+let test_all_configs () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (name, support) ->
+          let result, got = run ~scheme ~support () in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s" scheme.Scheme.name name)
+            expected got;
+          (* The small heap forces collections. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s collected" scheme.Scheme.name name)
+            true
+            (result.P.gc_collections > 0))
+        all_supports)
+    Scheme.all
+
+(* With checking on, hardware support must not slow the program down. *)
+let test_support_orderings () =
+  let scheme = Scheme.high5 in
+  let cycles support =
+    let result, _ = run ~scheme ~support:(Support.with_checking support) () in
+    Stats.total result.P.stats
+  in
+  let base = cycles Support.software in
+  List.iter
+    (fun (name, support) ->
+      let c = cycles support in
+      Alcotest.(check bool)
+        (Printf.sprintf "row %s at least as fast (base %d vs %d)" name base c)
+        true (c <= base))
+    [
+      ("row1", Support.row1_hw);
+      ("row2", Support.row2);
+      ("row3", Support.row3);
+      ("row5", Support.row5);
+      ("row6", Support.row6);
+      ("row7", Support.row7);
+      ("spur", Support.spur);
+    ];
+  (* Row 7 dominates rows 1-3. *)
+  Alcotest.(check bool) "row7 fastest" true
+    (cycles Support.row7 <= cycles Support.row3)
+
+(* The delay-slot scheduler must not change results, only cycles. *)
+let test_sched_ablation () =
+  List.iter
+    (fun scheme ->
+      let r_on, v_on = run ~scheme ~support:Support.software () in
+      let r_off, v_off =
+        run ~scheme ~support:Support.software ~sched:Sched.off ()
+      in
+      Alcotest.(check string) "sched result" v_on v_off;
+      Alcotest.(check bool) "sched saves cycles" true
+        (Stats.total r_on.P.stats <= Stats.total r_off.P.stats))
+    Scheme.all
+
+(* The low-tag schemes eliminate tag removal entirely (Section 5.2), and
+   the high-tag scheme with tag-ignoring memory drops its masking. *)
+let test_removal_elimination () =
+  let removal scheme support =
+    let r, _ = run ~scheme ~support () in
+    Stats.removal r.P.stats
+  in
+  let base = removal Scheme.high5 Support.software in
+  Alcotest.(check bool) "high5 masks" true (base > 0);
+  (* Low2 needs no masking anywhere, including inside the collector. *)
+  Alcotest.(check int) "low2 no masks" 0 (removal Scheme.low2 Support.software);
+  (* Tag-ignoring memory removes every mutator mask (the collector still
+     masks for its address arithmetic). *)
+  Alcotest.(check bool) "high5+ti fewer masks" true
+    (removal Scheme.high5 Support.row1_hw < base);
+  (* Low3 masks only inside the collector. *)
+  Alcotest.(check bool) "low3 fewer masks" true
+    (removal Scheme.low3 Support.software < base)
+
+(* Hardware generic arithmetic handles the boxnum trap path. *)
+let test_gen_arith_trap () =
+  let src = "(de main () (unbox (+ (makebox 3) (+ 4 (makebox 5)))))" in
+  List.iter
+    (fun scheme ->
+      let support = Support.with_checking Support.row4 in
+      let _, result = P.run_source ~scheme ~support src in
+      (match result.P.abort with
+      | Some m -> Alcotest.failf "aborted (%s): %s" scheme.Scheme.name m
+      | None -> ());
+      Alcotest.(check string) "trap path value" "12"
+        (P.hval_to_string (Option.get result.P.value));
+      Alcotest.(check bool) "traps happened" true
+        (result.P.stats.Stats.traps > 0))
+    Scheme.all
+
+(* Type errors are detected when checking is on. *)
+let test_error_detection () =
+  let cases =
+    [
+      ("(de main () (car 5))", "type error");
+      ("(de main () (cdr 'a))", "type error");
+      ("(de main () (getv (mkvect 3) 7))", "bounds error");
+      ("(de main () (getv (mkvect 3) -1))", "bounds error");
+      ("(de main () (getv '(1) 0))", "type error");
+      ("(de main () (+ 'a 1))", "type error");
+      ("(de main () (quotient 1 0))", "arithmetic error (overflow or bad type)");
+      ("(de main () (funcall 'nosuch 1))", "undefined function");
+      ("(de main () (funcall 5))", "type error");
+    ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun (src, expected_msg) ->
+          let support = Support.with_checking Support.software in
+          let _, result = P.run_source ~scheme ~support src in
+          match result.P.abort with
+          | Some msg ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s [%s]" src scheme.Scheme.name)
+                expected_msg msg
+          | None ->
+              Alcotest.failf "%s [%s]: expected an abort" src
+                scheme.Scheme.name)
+        cases)
+    Scheme.all;
+  (* Overflow detection, scaled to each scheme's integer range. *)
+  List.iter
+    (fun scheme ->
+      let m = scheme.Scheme.int_max - 1 in
+      let src = Printf.sprintf "(de main () (+ %d %d))" m m in
+      let support = Support.with_checking Support.software in
+      let _, result = P.run_source ~scheme ~support src in
+      match result.P.abort with
+      | Some msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "overflow [%s]" scheme.Scheme.name)
+            "arithmetic error (overflow or bad type)" msg
+      | None -> Alcotest.failf "overflow [%s]: no abort" scheme.Scheme.name)
+    Scheme.all
+
+let suite =
+  [
+    ( "configs",
+      [
+        Alcotest.test_case "all-configs-same-result" `Quick test_all_configs;
+        Alcotest.test_case "support-orderings" `Quick test_support_orderings;
+        Alcotest.test_case "sched-ablation" `Quick test_sched_ablation;
+        Alcotest.test_case "removal-elimination" `Quick
+          test_removal_elimination;
+        Alcotest.test_case "gen-arith-trap" `Quick test_gen_arith_trap;
+        Alcotest.test_case "error-detection" `Quick test_error_detection;
+      ] );
+  ]

@@ -1,0 +1,290 @@
+(* Golden cost-model tests: the paper states exact cycle costs for the
+   tag operations (Sections 3-4), and the emission layer must reproduce
+   them, per scheme and per hardware configuration:
+
+   - tag insertion: 2 cycles high-tag, 1 low-tag, 1 with a preshifted
+     pair tag (Section 3.1);
+   - tag removal: 1 cycle masking, 0 with low tags or tag-ignoring
+     memory (Sections 3.2, 5);
+   - integer test: 3 cycles high-tag (method 2 of Section 4.1), 2
+     low-tag;
+   - tag check: extraction + compare-and-branch (+ unused slots charged
+     to checking, Section 3.4); 1 instruction with a tag branch
+     (Section 6.1);
+   - a full integer-biased generic add: 10 cycles of checking+add on the
+     high-tag scheme (Section 4.2), 4-5 under the High6 encoding.
+
+   Each test emits exactly one operation, runs it on the machine with
+   operands preloaded into registers, and asserts the per-category cycle
+   counters. *)
+
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Emit = Tagsim.Emit
+module Insn = Tagsim.Insn
+module Reg = Tagsim.Reg
+module Buf = Tagsim.Buf
+module Sched = Tagsim.Sched
+module Image = Tagsim.Image
+module Machine = Tagsim.Machine
+module Stats = Tagsim.Stats
+module Annot = Tagsim.Annot
+
+(* Emit [build ctx], a halt, and an error sink; run with [setup] applied
+   to the machine first; return the statistics. *)
+let measure ?(sched = Sched.off) ~scheme ~support ?(setup = fun _ -> ())
+    build =
+  let b = Buf.create () in
+  let ctx = { Emit.b; scheme; support } in
+  build ctx;
+  Buf.emit b Insn.Halt;
+  Emit.label ctx "err";
+  Buf.emit b (Insn.Trap 0);
+  let image = Image.assemble ~sched b in
+  let hw = Scheme.machine_hw ~mem_bytes:(1 lsl 20) scheme in
+  let m = Machine.create ~hw image in
+  Machine.set_reg m Reg.rmask scheme.Scheme.data_mask;
+  setup m;
+  (match Machine.run m with
+  | Machine.Halted _ -> ()
+  | Machine.Aborted c -> Alcotest.failf "aborted %d" c);
+  Machine.stats m
+
+let pair_item scheme = Scheme.encode_ptr scheme Scheme.Pair (256 * 8)
+let int_item scheme n = Scheme.encode_int scheme n
+
+let test_insertion_costs () =
+  let insert scheme support =
+    let stats =
+      measure ~scheme ~support
+        ~setup:(fun m -> Machine.set_reg m Reg.t0 (256 * 8))
+        (fun ctx ->
+          Emit.insert_tag ctx ~ty:Scheme.Pair ~src:Reg.t0 ~dst:Reg.t1
+            ~scratch:Reg.v1)
+    in
+    Stats.insertion stats
+  in
+  Alcotest.(check int) "high5 insertion = 2" 2
+    (insert Scheme.high5 Support.software);
+  Alcotest.(check int) "high6 insertion = 2" 2
+    (insert Scheme.high6 Support.software);
+  Alcotest.(check int) "low2 insertion = 1" 1
+    (insert Scheme.low2 Support.software);
+  Alcotest.(check int) "low3 insertion = 1" 1
+    (insert Scheme.low3 Support.software);
+  (* Section 3.1: a preshifted pair tag halves the high-tag cost. *)
+  let preshift = { Support.software with Support.preshifted_pair_tag = true } in
+  let stats =
+    measure ~scheme:Scheme.high5 ~support:preshift
+      ~setup:(fun m ->
+        Machine.set_reg m Reg.t0 (256 * 8);
+        Machine.set_reg m Reg.k5
+          (Scheme.high5.Scheme.tag Scheme.Pair lsl Scheme.high5.Scheme.tag_shift))
+      (fun ctx ->
+        Emit.insert_tag ctx ~ty:Scheme.Pair ~src:Reg.t0 ~dst:Reg.t1
+          ~scratch:Reg.v1)
+  in
+  Alcotest.(check int) "high5 preshifted insertion = 1" 1
+    (Stats.insertion stats)
+
+let test_removal_costs () =
+  let removal scheme support =
+    let stats =
+      measure ~scheme ~support
+        ~setup:(fun m -> Machine.set_reg m Reg.t0 (pair_item scheme))
+        (fun ctx ->
+          let acc =
+            Emit.object_access ctx ~ty:Scheme.Pair ~parallel:false Reg.t0
+              ~scratch:Reg.v1
+          in
+          Emit.load ctx acc ~dst:Reg.t1 ~off:0)
+    in
+    Stats.removal stats
+  in
+  Alcotest.(check int) "high5 removal = 1" 1
+    (removal Scheme.high5 Support.software);
+  Alcotest.(check int) "low2 removal = 0" 0
+    (removal Scheme.low2 Support.software);
+  Alcotest.(check int) "low3 removal = 0" 0
+    (removal Scheme.low3 Support.software);
+  Alcotest.(check int) "high5 + tag-ignoring removal = 0" 0
+    (removal Scheme.high5 Support.row1_hw)
+
+let test_int_test_costs () =
+  (* Not-taken integer test on an integer operand: extraction + branch
+     (+ the branch's two unfilled slots, charged to checking as in
+     Section 3.4). *)
+  let cost scheme =
+    let stats =
+      measure ~scheme ~support:Support.software
+        ~setup:(fun m -> Machine.set_reg m Reg.t0 (int_item scheme 7))
+        (fun ctx ->
+          Emit.int_test ctx ~src_kind:Annot.Arith_op ~sense:`Is_not Reg.t0
+            ~scratch:Reg.v1 "err")
+    in
+    ( Stats.extraction stats,
+      Stats.check_only stats,
+      Stats.tag_checking stats )
+  in
+  let ext5, chk5, tot5 = cost Scheme.high5 in
+  Alcotest.(check int) "high5 int-test extraction = 2" 2 ext5;
+  Alcotest.(check int) "high5 int-test branch+slots = 3" 3 chk5;
+  Alcotest.(check int) "high5 int-test total = 5" 5 tot5;
+  let ext2, chk2, tot2 = cost Scheme.low2 in
+  Alcotest.(check int) "low2 int-test extraction = 1" 1 ext2;
+  Alcotest.(check int) "low2 int-test branch+slots = 3" 3 chk2;
+  Alcotest.(check int) "low2 int-test total = 4" 4 tot2
+
+let test_check_costs () =
+  (* Pair check on a pair (not taken): extract (1) + branch (1) + two
+     slots; a single instruction (+ slots) with the tag branch. *)
+  let cost scheme support =
+    let stats =
+      measure ~scheme ~support
+        ~setup:(fun m -> Machine.set_reg m Reg.t0 (pair_item scheme))
+        (fun ctx ->
+          Emit.check_type ctx ~src_kind:Annot.List_op ~ty:Scheme.Pair
+            ~sense:`Is_not Reg.t0 ~scratch:Reg.v1 "err")
+    in
+    (Stats.extraction stats, Stats.check_only stats)
+  in
+  let ext, chk = cost Scheme.high5 Support.software in
+  Alcotest.(check int) "high5 check extraction = 1" 1 ext;
+  Alcotest.(check int) "high5 check branch+slots = 3" 3 chk;
+  let ext, chk = cost Scheme.high5 Support.row2 in
+  Alcotest.(check int) "tag-branch check extraction = 0" 0 ext;
+  Alcotest.(check int) "tag-branch check branch+slots = 3" 3 chk;
+  (* Low2's escape-tagged types need the extra header compare. *)
+  let addr = 256 * 8 in
+  let stats =
+    measure ~scheme:Scheme.low2 ~support:Support.software
+      ~setup:(fun m ->
+        Machine.set_reg m Reg.t0 (Scheme.encode_ptr Scheme.low2 Scheme.Vector addr);
+        Machine.poke m addr Scheme.subtype_vector)
+      (fun ctx ->
+        Emit.check_type ctx ~src_kind:Annot.Vector_op ~ty:Scheme.Vector
+          ~sense:`Is_not Reg.t0 ~scratch:Reg.v1 "err")
+  in
+  Alcotest.(check bool) "low2 escape check costs more" true
+    (Stats.tag_checking stats > 4)
+
+let test_generic_add_cost () =
+  (* The full integer-biased generic add of Section 4.2: "10 cycles: 9
+     cycles for type and overflow checking, and 1 for adding" on the
+     straightforward scheme.  We measure a compiled (+ x y) body with
+     both operands unknown, by differencing against a body that moves an
+     operand instead of adding. *)
+  let cycles ~scheme ~support src =
+    let _, result =
+      Tagsim.Program.run_source ~sched:Sched.off ~scheme ~support src
+    in
+    Tagsim.Stats.total result.Tagsim.Program.stats
+  in
+  let add_prog = "(de f (x y) (+ x y)) (de main () (f 3 4))" in
+  let base_prog = "(de f (x y) (progn y x)) (de main () (f 3 4))" in
+  let overhead scheme support =
+    cycles ~scheme ~support add_prog - cycles ~scheme ~support base_prog
+  in
+  let chk = Support.with_checking Support.software in
+  (* Without checking the add is the single machine instruction (the
+     baseline moves between temporaries similarly). *)
+  Alcotest.(check int) "unchecked add = 1 cycle" 1
+    (overhead Scheme.high5 Support.software);
+  (* With checking: 2 int tests (incl. their branch slots) + add +
+     overflow check + the move out of the scratch result register: 17
+     cycles with every slot unfilled.  The paper's 10 counts the branch
+     slots as overlapped, which the scheduler mostly recovers (below). *)
+  let c = overhead Scheme.high5 chk in
+  Alcotest.(check int) "checked generic add, slots unfilled" 17 c;
+  (* With the delay-slot scheduler the net cost approaches the paper's
+     10 cycles. *)
+  let cycles_sched src =
+    let _, result = Tagsim.Program.run_source ~scheme:Scheme.high5 ~support:chk src in
+    Tagsim.Stats.total result.Tagsim.Program.stats
+  in
+  let c_sched = cycles_sched add_prog - cycles_sched base_prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "scheduled generic add cost %d within [10, 14]" c_sched)
+    true
+    (c_sched >= 10 && c_sched <= 14);
+  (* High6 (Section 4.2): add + single validity check. *)
+  let c6 = overhead Scheme.high6 chk in
+  Alcotest.(check bool)
+    (Printf.sprintf "high6 generic add cost %d < high5's %d" c6 c)
+    true (c6 < c);
+  (* Hardware generic arithmetic (row 4): back to a single cycle. *)
+  Alcotest.(check int) "hw generic add = 1 cycle" 1
+    (overhead Scheme.high5 (Support.with_checking Support.row4))
+
+let test_parallel_check_cost () =
+  (* With parallel-checked loads, a checked car has no explicit check or
+     mask at all (Section 6.2.1). *)
+  let stats scheme support =
+    measure ~scheme ~support
+      ~setup:(fun m -> Machine.set_reg m Reg.t0 (pair_item scheme))
+      (fun ctx ->
+        let parallel = Emit.parallel_covers ctx Scheme.Pair in
+        if (not parallel) && ctx.Emit.support.Support.runtime_checking then
+          Emit.check_type ~checking:true ctx ~src_kind:Annot.List_op
+            ~ty:Scheme.Pair ~sense:`Is_not Reg.t0 ~scratch:Reg.v1 "err";
+        let acc =
+          Emit.object_access ctx ~ty:Scheme.Pair ~parallel Reg.t0
+            ~scratch:Reg.v1
+        in
+        Emit.load ctx acc ~dst:Reg.t1 ~off:0)
+  in
+  let soft = stats Scheme.high5 (Support.with_checking Support.software) in
+  let par = stats Scheme.high5 (Support.with_checking Support.row5) in
+  Alcotest.(check bool) "software checked car has check cycles" true
+    (Stats.tag_checking soft > 0);
+  Alcotest.(check int) "parallel checked car: no check cycles" 0
+    (Stats.tag_checking par);
+  Alcotest.(check int) "parallel checked car: no mask cycles" 0
+    (Stats.removal par)
+
+(* Checked vector access (getv): tag check + index type check + bounds
+   check; Low2 pays extra for the escape-tag discrimination, and the
+   parallel hardware hides the tag check inside the length load. *)
+let test_vector_access_costs () =
+  let cycles ~scheme ~support =
+    let src = "(de f (v i) (getv v i)) (de main () (f (mkvect 4) 2))" in
+    let base = "(de f (v i) (progn i v)) (de main () (f (mkvect 4) 2))" in
+    let run s =
+      let _, r = Tagsim.Program.run_source ~sched:Sched.off ~scheme ~support s in
+      Tagsim.Stats.total r.Tagsim.Program.stats
+    in
+    run src - run base
+  in
+  let chk = Support.with_checking Support.software in
+  let h5_plain = cycles ~scheme:Scheme.high5 ~support:Support.software in
+  let h5_chk = cycles ~scheme:Scheme.high5 ~support:chk in
+  let l2_chk = cycles ~scheme:Scheme.low2 ~support:chk in
+  let h5_par = cycles ~scheme:Scheme.high5 ~support:(Support.with_checking Support.row6) in
+  (* Unchecked high5 getv: mask + scale + add + load, plus the load-use
+     interlock on the just-computed address = 5 cycles. *)
+  Alcotest.(check int) "unchecked high5 getv = 5" 5 h5_plain;
+  Alcotest.(check bool)
+    (Printf.sprintf "checking adds a lot (%d -> %d)" h5_plain h5_chk)
+    true
+    (h5_chk >= h5_plain + 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "low2 escape check costs more than high5 (%d > %d)"
+       l2_chk h5_chk)
+    true (l2_chk > h5_chk);
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel checking is cheaper (%d < %d)" h5_par h5_chk)
+    true (h5_par < h5_chk)
+
+let suite =
+  [
+    ( "costs",
+      [
+        Alcotest.test_case "insertion" `Quick test_insertion_costs;
+        Alcotest.test_case "removal" `Quick test_removal_costs;
+        Alcotest.test_case "int-test" `Quick test_int_test_costs;
+        Alcotest.test_case "type-check" `Quick test_check_costs;
+        Alcotest.test_case "generic-add" `Quick test_generic_add_cost;
+        Alcotest.test_case "parallel-check" `Quick test_parallel_check_cost;
+        Alcotest.test_case "vector-access" `Quick test_vector_access_costs;
+      ] );
+  ]

@@ -1,0 +1,344 @@
+(* Differential testing: random (typed) programs are evaluated by the
+   OCaml reference interpreter (Tagsim.Oracle) and by the full
+   compile–schedule–simulate pipeline under every tag scheme with
+   checking on.  Values AND run-time errors must agree exactly. *)
+
+module Oracle = Tagsim.Oracle
+module P = Tagsim.Program
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+
+(* --- A typed random program generator. --- *)
+
+type rty = TInt | TList | TAny
+
+let gen_program : string QCheck.Gen.t =
+ fun rand ->
+  let open QCheck.Gen in
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  (* environment: variables with their types *)
+  let vars = ref [ ("gi", TInt); ("gl", TList) ] in
+  let pick_var ty =
+    let cands = List.filter (fun (_, t) -> t = ty) !vars in
+    match cands with
+    | [] -> None
+    | l -> Some (fst (List.nth l (int_bound (List.length l - 1) rand)))
+  in
+  let symbols = [ "a"; "b"; "c"; "k1"; "k2" ] in
+  let sym () = List.nth symbols (int_bound 4 rand) in
+  let rec expr ty depth =
+    let leaf () =
+      match ty with
+      | TInt -> (
+          match (int_bound 3 rand, pick_var TInt) with
+          | 0, Some v -> add v
+          | _ -> add (string_of_int (int_range (-40) 40 rand)))
+      | TList -> (
+          match (int_bound 3 rand, pick_var TList) with
+          | 0, Some v -> add v
+          | 1, _ -> add "nil"
+          | _ ->
+              add "'(";
+              let n = int_bound 3 rand in
+              for i = 0 to n do
+                if i > 0 then add " ";
+                if bool rand then add (string_of_int (int_bound 9 rand))
+                else add (sym ())
+              done;
+              add ")")
+      | TAny -> (
+          match int_bound 2 rand with
+          | 0 -> expr TInt 0
+          | 1 -> expr TList 0
+          | _ ->
+              add "'";
+              add (sym ()))
+    in
+    if depth <= 0 then leaf ()
+    else
+      let binary op a tb =
+        add "(";
+        add op;
+        add " ";
+        expr a (depth - 1);
+        add " ";
+        expr tb (depth - 1);
+        add ")"
+      in
+      match ty with
+      | TInt -> (
+          match int_bound 12 rand with
+          | 0 | 1 -> leaf ()
+          | 2 -> binary "+" TInt TInt
+          | 3 -> binary "-" TInt TInt
+          | 4 ->
+              (* keep products small *)
+              add "(* ";
+              add (string_of_int (int_range (-9) 9 rand));
+              add " ";
+              expr TInt (depth - 1);
+              add ")"
+          | 5 ->
+              add "(length ";
+              expr TList (depth - 1);
+              add ")"
+          | 6 ->
+              add "(if ";
+              test (depth - 1);
+              add " ";
+              expr TInt (depth - 1);
+              add " ";
+              expr TInt (depth - 1);
+              add ")"
+          | 7 ->
+              add "(quotient ";
+              expr TInt (depth - 1);
+              add " ";
+              add (string_of_int (1 + int_bound 8 rand));
+              add ")"
+          | 8 ->
+              (* may be a type error at run time: car of a list that can
+                 be empty; both sides must agree *)
+              add "(car ";
+              expr TList (depth - 1);
+              add ")"
+          | 9 -> (
+              match int_bound 3 rand with
+              | 0 ->
+                  add "(twice ";
+                  expr TInt (depth - 1);
+                  add ")"
+              | 1 ->
+                  add "(sum3 ";
+                  expr TInt (depth - 1);
+                  add " ";
+                  expr TInt (depth - 1);
+                  add " ";
+                  add (string_of_int (int_bound 9 rand));
+                  add ")"
+              | 2 ->
+                  add "(mylen ";
+                  expr TList (depth - 1);
+                  add ")"
+              | _ ->
+                  add "(funcall 'twice ";
+                  expr TInt (depth - 1);
+                  add ")")
+          | 10 ->
+              (* vectors: build, store, read back *)
+              add "(let ((vv (mkvect ";
+              add (string_of_int (1 + int_bound 4 rand));
+              add "))) (putv vv 0 ";
+              expr TInt (depth - 1);
+              add ") (+ (getv vv 0) (vlen vv)))"
+          | 11 ->
+              add "(unbox (+ (makebox ";
+              expr TInt (depth - 1);
+              add ") ";
+              add (string_of_int (int_bound 9 rand));
+              add "))"
+          | _ ->
+              add "(remainder ";
+              expr TInt (depth - 1);
+              add " ";
+              add (string_of_int (2 + int_bound 7 rand));
+              add ")")
+      | TList -> (
+          match int_bound 7 rand with
+          | 0 -> leaf ()
+          | 1 ->
+              add "(cons ";
+              expr TAny (depth - 1);
+              add " ";
+              expr TList (depth - 1);
+              add ")"
+          | 2 -> binary "append" TList TList
+          | 3 ->
+              add "(reverse ";
+              expr TList (depth - 1);
+              add ")"
+          | 4 ->
+              add "(cdr ";
+              expr TList (depth - 1);
+              add ")"
+          | 5 ->
+              add "(memq '";
+              add (sym ());
+              add " ";
+              expr TList (depth - 1);
+              add ")"
+          | 6 ->
+              add "(if ";
+              test (depth - 1);
+              add " ";
+              expr TList (depth - 1);
+              add " ";
+              expr TList (depth - 1);
+              add ")"
+          | _ ->
+              add "(delq '";
+              add (sym ());
+              add " ";
+              expr TList (depth - 1);
+              add ")")
+      | TAny -> expr (if bool rand then TInt else TList) depth
+  and test depth =
+    if depth <= 0 then add (if bool rand then "t" else "nil")
+    else
+      match int_bound 5 rand with
+      | 0 ->
+          add "(pairp ";
+          expr TList (depth - 1);
+          add ")"
+      | 1 ->
+          add "(null ";
+          expr TList (depth - 1);
+          add ")"
+      | 2 ->
+          add "(lessp ";
+          expr TInt (depth - 1);
+          add " ";
+          expr TInt (depth - 1);
+          add ")"
+      | 3 ->
+          add "(eq ";
+          expr TAny (depth - 1);
+          add " ";
+          expr TAny (depth - 1);
+          add ")"
+      | 4 ->
+          add "(atom ";
+          expr TAny (depth - 1);
+          add ")"
+      | _ ->
+          add "(equal ";
+          expr TList (depth - 1);
+          add " ";
+          expr TList (depth - 1);
+          add ")"
+  in
+  (* a helper function the program may call *)
+  add "(de twice (x) (+ x x))\n";
+  add "(de sum3 (p q r) (+ p (+ q r)))\n";
+  add "(de mylen (l) (if (pairp l) (+ 1 (mylen (cdr l))) 0))\n";
+  (* main: bind two locals, run a couple of statements, return a value *)
+  add "(de main ()\n  (let ((gi ";
+  expr TInt 2;
+  add ") (gl ";
+  expr TList 2;
+  add "))\n";
+  vars := ("li", TInt) :: !vars;
+  add "    (let ((li ";
+  expr TInt 2;
+  add "))\n";
+  let n_stmts = int_bound 2 rand in
+  for _ = 0 to n_stmts do
+    (match int_bound 3 rand with
+    | 0 ->
+        add "      (setq gi ";
+        expr TInt 2;
+        add ")\n"
+    | 1 ->
+        add "      (setq gl ";
+        expr TList 2;
+        add ")\n"
+    | 2 ->
+        add "      (put 'store 'key ";
+        expr TInt 2;
+        add ")\n"
+    | _ ->
+        add "      (setq globalv ";
+        expr TAny 2;
+        add ")\n")
+  done;
+  (match int_bound 3 rand with
+  | 0 ->
+      add "      (list gi li (get 'store 'key) ";
+      expr TAny 2;
+      add ")"
+  | 1 ->
+      add "      (append gl (list li gi))"
+  | 2 ->
+      add "      (cons globalv ";
+      expr TList 2;
+      add ")"
+  | _ ->
+      add "      (+ gi (if (numberp globalv) globalv li))");
+  add ")))";
+  Buffer.contents buf
+
+exception Too_deep
+
+(* The compiler rejects expressions deeper than its temporary stack; the
+   generator occasionally produces such programs, which are skipped. *)
+let run_compiled ~scheme src =
+  let support = Support.with_checking Support.software in
+  match P.run_source ~scheme ~support src with
+  | _, { P.abort = Some msg; _ } -> Error msg
+  | _, { P.value = Some v; _ } -> Ok (P.hval_to_string v)
+  | _ -> Error "no value"
+  | exception Tagsim.Codegen.Error _ -> raise Too_deep
+
+let agree src =
+  try
+    List.for_all
+      (fun scheme ->
+        let oracle =
+          match Oracle.run ~scheme src with
+          | Oracle.Value v -> Ok (Oracle.to_string v)
+          | Oracle.Error e -> Error e
+        in
+        let compiled = run_compiled ~scheme src in
+        oracle = compiled)
+      Scheme.all
+  with Too_deep -> QCheck.assume_fail ()
+
+let props =
+  [
+    QCheck.Test.make ~name:"random programs: oracle = machine" ~count:250
+      (QCheck.make ~print:(fun s -> s) gen_program)
+      agree;
+  ]
+
+(* A few handwritten agreements covering the error paths explicitly. *)
+let test_error_agreement () =
+  List.iter
+    (fun src ->
+      List.iter
+        (fun scheme ->
+          let oracle =
+            match Oracle.run ~scheme src with
+            | Oracle.Value v -> Ok (Oracle.to_string v)
+            | Oracle.Error e -> Error e
+          in
+          let compiled = run_compiled ~scheme src in
+          if oracle <> compiled then
+            Alcotest.failf "%s [%s]: oracle %s, machine %s" src
+              scheme.Scheme.name
+              (match oracle with Ok s -> s | Error e -> "ERR " ^ e)
+              (match compiled with Ok s -> s | Error e -> "ERR " ^ e))
+        Scheme.all)
+    [
+      "(de main () (car nil))";
+      "(de main () (car (cdr '(1))))";
+      "(de main () (cdr 5))";
+      "(de main () (getv (mkvect 2) 2))";
+      "(de main () (+ 'x 1))";
+      "(de main () (* 'x 2))";
+      "(de main () (quotient 4 (length nil)))";
+      "(de main () (unbox 3))";
+      "(de main () (vlen '(1 2)))";
+      "(de main () (funcall 'nodef 1))";
+      "(de main () (equal (mkvect 2) (mkvect 2)))";
+      "(de main () (eq (makebox 3) (makebox 3)))";
+      "(de main () (let ((b (makebox 3))) (eq b b)))";
+    ]
+
+let suite =
+  [
+    ( "differential",
+      List.map QCheck_alcotest.to_alcotest props
+      @ [ Alcotest.test_case "error-agreement" `Quick test_error_agreement ]
+    );
+  ]

@@ -1,0 +1,239 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   - encode/decode roundtrips and hardware-test agreement for every tag
+     scheme;
+   - the reader/printer roundtrip;
+   - random arithmetic expressions evaluate exactly as an OCaml reference,
+     across every scheme with checking off and on (the compiled code path
+     differs radically between configurations; the values must not);
+   - random list data survives construction, copying and a forced
+     collection in a tiny heap. *)
+
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Sexp = Tagsim.Sexp
+module Word = Tagsim.Word
+module P = Tagsim.Program
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Word properties. --- *)
+
+let word_props =
+  let open QCheck in
+  [
+    Test.make ~name:"word add = mod 2^32" ~count:500
+      (pair (int_bound Word.mask) (int_bound Word.mask))
+      (fun (a, b) -> Word.add a b = (a + b) land Word.mask);
+    Test.make ~name:"word to_signed/of_int roundtrip" ~count:500
+      (int_range (-0x80000000) 0x7FFFFFFF)
+      (fun n -> Word.to_signed (Word.of_int n) = n);
+    Test.make ~name:"sra agrees with asr on signed" ~count:500
+      (pair (int_range (-0x80000000) 0x7FFFFFFF) (int_bound 31))
+      (fun (n, k) -> Word.to_signed (Word.sra (Word.of_int n) k) = n asr k);
+  ]
+
+(* --- Scheme properties. --- *)
+
+let scheme_props =
+  let open QCheck in
+  List.concat_map
+    (fun scheme ->
+      let name = scheme.Scheme.name in
+      let in_range =
+        int_range scheme.Scheme.int_min scheme.Scheme.int_max
+      in
+      [
+        Test.make
+          ~name:(name ^ ": int roundtrip and is_int")
+          ~count:500 in_range
+          (fun n ->
+            let w = Scheme.encode_int scheme n in
+            Scheme.decode_int scheme w = n && Scheme.is_int_item scheme w);
+        Test.make
+          ~name:(name ^ ": gen_overflowed = out-of-range sum")
+          ~count:500 (pair in_range in_range)
+          (fun (a, b) ->
+            let wa = Scheme.encode_int scheme a
+            and wb = Scheme.encode_int scheme b in
+            let sum = Word.add wa wb in
+            let fits =
+              a + b >= scheme.Scheme.int_min && a + b <= scheme.Scheme.int_max
+            in
+            Scheme.gen_overflowed scheme wa wb sum = not fits
+            && (not fits) = not (fits && Scheme.decode_int scheme sum = a + b));
+        Test.make
+          ~name:(name ^ ": pointer roundtrip, never an int")
+          ~count:200
+          (pair (int_range 1 4096)
+             (oneofl [ Scheme.Pair; Scheme.Symbol; Scheme.Vector; Scheme.Boxnum ]))
+          (fun (block, ty) ->
+            let addr = block * scheme.Scheme.obj_align in
+            let w = Scheme.encode_ptr scheme ty addr in
+            Scheme.ptr_addr scheme w = addr
+            && not (Scheme.is_int_item scheme w));
+      ])
+    Scheme.all
+
+(* --- Reader/printer roundtrip. --- *)
+
+let gen_sexp =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun n -> Sexp.Int n) (int_range (-1000) 1000);
+        map
+          (fun i -> Sexp.Sym (List.nth [ "a"; "b"; "foo"; "x1"; "-"; "+" ] i))
+          (int_bound 5);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then atom
+         else
+           frequency
+             [
+               (2, atom);
+               ( 3,
+                 map
+                   (fun l -> Sexp.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+             ])
+
+let rec sexp_equal a b =
+  match (a, b) with
+  | Sexp.Int x, Sexp.Int y -> x = y
+  | Sexp.Sym x, Sexp.Sym y -> x = y
+  | Sexp.List x, Sexp.List y ->
+      List.length x = List.length y && List.for_all2 sexp_equal x y
+  | _ -> false
+
+let sexp_props =
+  [
+    QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300
+      (QCheck.make ~print:Sexp.to_string gen_sexp)
+      (fun s -> sexp_equal s (Sexp.parse (Sexp.to_string s)));
+  ]
+
+(* --- Random arithmetic programs. --- *)
+
+type aexpr =
+  | Lit of int
+  | Bin of string * aexpr * aexpr (* +, -, *, min, max *)
+
+let rec aexpr_src = function
+  | Lit n -> string_of_int n
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" op (aexpr_src a) (aexpr_src b)
+
+exception Out_of_range
+
+(* Reference evaluation; raises if any intermediate leaves the common
+   integer range (high6 is the narrowest: 26 bits). *)
+let rec aexpr_eval e =
+  let guard n = if n < -33000000 || n > 33000000 then raise Out_of_range else n in
+  match e with
+  | Lit n -> n
+  | Bin (op, a, b) -> (
+      let x = aexpr_eval a and y = aexpr_eval b in
+      guard
+        (match op with
+        | "+" -> x + y
+        | "-" -> x - y
+        | "*" -> x * y
+        | "min" -> min x y
+        | _ -> max x y))
+
+let gen_aexpr =
+  let open QCheck.Gen in
+  (* size bounded so expression depth stays within the compiler's
+     nine-temporary evaluation stack *)
+  sized_size (int_bound 20)
+  @@ fix (fun self n ->
+         if n = 0 then map (fun i -> Lit i) (int_range (-50) 50)
+         else
+           frequency
+             [
+               (1, map (fun i -> Lit i) (int_range (-50) 50));
+               ( 3,
+                 map3
+                   (fun op a b -> Bin (op, a, b))
+                   (oneofl [ "+"; "-"; "*"; "min"; "max" ])
+                   (self (n / 2)) (self (n / 2)) );
+             ])
+
+let arith_configs =
+  List.concat_map
+    (fun scheme ->
+      [ (scheme, Support.software);
+        (scheme, Support.with_checking Support.software) ])
+    Scheme.all
+
+let arith_props =
+  [
+    QCheck.Test.make ~name:"random arithmetic agrees with OCaml" ~count:60
+      (QCheck.make ~print:aexpr_src gen_aexpr)
+      (fun e ->
+        match aexpr_eval e with
+        | exception Out_of_range -> QCheck.assume_fail ()
+        | expected ->
+            let src = Printf.sprintf "(de main () %s)" (aexpr_src e) in
+            List.for_all
+              (fun (scheme, support) ->
+                let _, r = P.run_source ~scheme ~support src in
+                match r.P.value with
+                | Some (P.Hint n) -> n = expected
+                | _ -> false)
+              arith_configs);
+  ]
+
+(* --- Random list structures survive copying and collection. --- *)
+
+let rec const_src depth rand =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [ map string_of_int (int_range (-99) 99); oneofl [ "a"; "b"; "c" ] ]
+      rand
+  else
+    let n = int_bound 3 rand in
+    let elems = List.init n (fun _ -> const_src (depth - 1) rand) in
+    "(" ^ String.concat " " elems ^ ")"
+
+let gen_const = QCheck.Gen.(int_bound 3 >>= fun d -> fun r -> const_src d r)
+
+let gc_props =
+  [
+    QCheck.Test.make ~name:"structures survive copying GC" ~count:40
+      (QCheck.make ~print:(fun s -> s) gen_const)
+      (fun quoted ->
+        (* Build a deep copy in the heap, churn to force collections, and
+           compare against the static constant. *)
+        let src =
+          Printf.sprintf
+            "(de churn (n) (let ((l nil)) (dotimes (i n) (push i l)) l))\n\
+             (de main ()\n\
+            \  (let ((x (copy '%s)))\n\
+            \    (churn 200) (reclaim) (churn 200)\n\
+            \    (if (equal x '%s) 'ok 'broken)))"
+            quoted quoted
+        in
+        List.for_all
+          (fun scheme ->
+            let _, r =
+              P.run_source ~scheme ~support:Support.software
+                ~sizes:{ Tagsim.Layout.stack_bytes = 1 lsl 16;
+                         semi_bytes = 1 lsl 13 }
+                src
+            in
+            match r.P.value with Some (P.Hsym "ok") -> true | _ -> false)
+          Scheme.all);
+  ]
+
+let suite =
+  [
+    ( "properties",
+      List.map to_alcotest
+        (word_props @ scheme_props @ sexp_props @ arith_props @ gc_props) );
+  ]

@@ -1,0 +1,48 @@
+(* First end-to-end smoke tests: compile and run tiny programs. *)
+
+let scheme = Tagsim.Scheme.high5
+let support = Tagsim.Support.software
+
+let run_int ?(scheme = scheme) ?(support = support) src expected =
+  let _, result = Tagsim.Program.run_source ~scheme ~support src in
+  (match result.Tagsim.Program.abort with
+  | Some msg -> Alcotest.failf "aborted: %s" msg
+  | None -> ());
+  match result.Tagsim.Program.value with
+  | Some (Tagsim.Program.Hint n) -> Alcotest.(check int) src expected n
+  | Some v ->
+      Alcotest.failf "expected int, got %s" (Tagsim.Program.hval_to_string v)
+  | None -> Alcotest.fail "no value"
+
+let test_const () = run_int "(de main () 42)" 42
+let test_add () = run_int "(de main () (+ 1 2))" 3
+let test_let () = run_int "(de main () (let ((x 10) (y 20)) (+ x y)))" 30
+
+let test_call () =
+  run_int "(de sq (x) (* x x)) (de main () (sq 7))" 49
+
+let test_fib () =
+  run_int
+    "(de fib (n) (if (lessp n 2) n (+ (fib (- n 1)) (fib (- n 2)))))\n\
+     (de main () (fib 10))"
+    55
+
+let test_list () =
+  run_int "(de main () (length (list 1 2 3 4 5)))" 5
+
+let test_cons_car () =
+  run_int "(de main () (car (cons 42 nil)))" 42
+
+let suite =
+  [
+    ( "smoke",
+      [
+        Alcotest.test_case "const" `Quick test_const;
+        Alcotest.test_case "add" `Quick test_add;
+        Alcotest.test_case "let" `Quick test_let;
+        Alcotest.test_case "call" `Quick test_call;
+        Alcotest.test_case "fib" `Quick test_fib;
+        Alcotest.test_case "list" `Quick test_list;
+        Alcotest.test_case "cons-car" `Quick test_cons_car;
+      ] );
+  ]

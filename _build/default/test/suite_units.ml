@@ -1,0 +1,391 @@
+(* Unit tests for the lower layers: words, the reader, the expander, the
+   tag schemes, the assembler/scheduler and the machine itself (via
+   hand-written assembly programs). *)
+
+module Word = Tagsim.Word
+module Sexp = Tagsim.Sexp
+module Expand = Tagsim.Expand
+module Ast = Tagsim.Ast
+module Scheme = Tagsim.Scheme
+module Insn = Tagsim.Insn
+module Reg = Tagsim.Reg
+module Buf = Tagsim.Buf
+module Sched = Tagsim.Sched
+module Image = Tagsim.Image
+module Machine = Tagsim.Machine
+module Stats = Tagsim.Stats
+
+(* --- Word --- *)
+
+let test_word_basics () =
+  Alcotest.(check int) "of_int wraps" 0 (Word.of_int 0x100000000);
+  Alcotest.(check int) "to_signed negative" (-1) (Word.to_signed 0xFFFFFFFF);
+  Alcotest.(check int) "add wraps" 0 (Word.add 0xFFFFFFFF 1);
+  Alcotest.(check int) "sub wraps" 0xFFFFFFFF (Word.sub 0 1);
+  Alcotest.(check int) "sra sign extends" 0xFFFFFFFF (Word.sra 0x80000000 31);
+  Alcotest.(check int) "srl zero extends" 1 (Word.srl 0x80000000 31);
+  Alcotest.(check int) "div truncates toward zero" Word.(of_int (-3))
+    (Word.div (Word.of_int (-17)) 5);
+  Alcotest.(check int) "rem sign follows dividend" Word.(of_int (-2))
+    (Word.rem (Word.of_int (-17)) 5);
+  Alcotest.(check int) "field extracts" 5
+    (Word.field ~shift:27 ~width:5 (5 lsl 27));
+  Alcotest.(check bool) "simm17 fits" true (Word.fits_simm ~width:17 65535);
+  Alcotest.(check bool) "simm17 overflow" false
+    (Word.fits_simm ~width:17 65536);
+  Alcotest.(check int) "lui-style imm is 1 cycle" 1
+    (Word.imm_cycles (3 lsl 27));
+  Alcotest.(check int) "wide imm is 2 cycles" 2 (Word.imm_cycles 0x12345)
+
+(* --- Sexp reader --- *)
+
+let test_sexp_reader () =
+  let p s = Sexp.to_string (Sexp.parse s) in
+  Alcotest.(check string) "atom" "foo" (p "foo");
+  Alcotest.(check string) "int" "-42" (p "-42");
+  Alcotest.(check string) "nested" "(a (b c) 3)" (p "(a (b  c)\n 3)");
+  Alcotest.(check string) "quote sugar" "(quote (a b))" (p "'(a b)");
+  Alcotest.(check string) "comments" "(a b)" (p "(a ; comment\n b)");
+  Alcotest.(check string) "nested quote" "(a (quote b))" (p "(a 'b)");
+  Alcotest.(check int) "parse_all" 3
+    (List.length (Sexp.parse_all "(a) (b) (c)"));
+  Alcotest.check_raises "unbalanced"
+    (Sexp.Parse_error "unterminated list") (fun () ->
+      ignore (Sexp.parse "(a (b)"));
+  (* '+' and '-' are symbols, not numbers *)
+  (match Sexp.parse "-" with
+  | Sexp.Sym "-" -> ()
+  | _ -> Alcotest.fail "- should be a symbol");
+  match Sexp.parse "1x" with
+  | Sexp.Sym "1x" -> ()
+  | _ -> Alcotest.fail "1x should be a symbol"
+
+let test_expander () =
+  let e src = Fmt.str "%a" Ast.pp (Expand.expr (Sexp.parse src)) in
+  Alcotest.(check string) "cond" "(if 'a 'b (if 'c 'd 'nil))"
+    (e "(cond ('a 'b) ('c 'd))");
+  Alcotest.(check string) "and" "(if 'a 'b 'nil)" (e "(and 'a 'b)");
+  Alcotest.(check string) "cxr" "(car (cdr x))" (e "(cadr x)");
+  Alcotest.(check string) "nary plus" "(plus2 (plus2 '1 '2) '3)"
+    (e "(+ 1 2 3)");
+  Alcotest.(check string) "unary minus" "(difference2 '0 x)" (e "(- x)");
+  Alcotest.(check string) "not" "(null x)" (e "(not x)");
+  Alcotest.(check string) "push" "(setq l (cons x l))" (e "(push x l)");
+  (* duplicate parameters are rejected *)
+  Alcotest.check_raises "dup params"
+    (Expand.Error "duplicate parameter x in f") (fun () ->
+      ignore (Expand.program "(de f (x x) x)"))
+
+(* --- Tag schemes --- *)
+
+let test_scheme_encodings () =
+  List.iter
+    (fun scheme ->
+      let name = scheme.Scheme.name in
+      (* integer roundtrip at the extremes *)
+      List.iter
+        (fun n ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s int %d" name n)
+            n
+            (Scheme.decode_int scheme (Scheme.encode_int scheme n));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s is_int %d" name n)
+            true
+            (Scheme.is_int_item scheme (Scheme.encode_int scheme n)))
+        [ 0; 1; -1; 42; scheme.Scheme.int_min; scheme.Scheme.int_max ];
+      (* pointers are not integers, and addresses roundtrip *)
+      List.iter
+        (fun ty ->
+          let addr = 128 * scheme.Scheme.obj_align in
+          let item = Scheme.encode_ptr scheme ty addr in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s not int" name (Scheme.ty_name ty))
+            false
+            (Scheme.is_int_item scheme item);
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s addr" name (Scheme.ty_name ty))
+            addr
+            (Scheme.ptr_addr scheme item))
+        [ Scheme.Pair; Scheme.Symbol; Scheme.Vector; Scheme.Boxnum ];
+      (* out-of-range literals are rejected *)
+      Alcotest.(check bool)
+        (name ^ " range check") true
+        (try
+           ignore (Scheme.encode_int scheme (scheme.Scheme.int_max + 1));
+           false
+         with Invalid_argument _ -> true))
+    Scheme.all
+
+(* --- Assembler and machine, via hand-written programs. --- *)
+
+let hw = Scheme.machine_hw ~mem_bytes:(1 lsl 20) Scheme.high5
+
+let run_asm build =
+  let b = Buf.create () in
+  build b;
+  let image = Image.assemble b in
+  let m = Machine.create ~hw image in
+  (Machine.run m, m)
+
+(* A raw image with integer branch targets, bypassing the assembler and
+   scheduler entirely: for testing exact machine semantics (delay slots,
+   squashing, interlocks). *)
+let raw_image ?(data = [||]) insns : Image.t =
+  {
+    Image.code =
+      Array.of_list
+        (List.map
+           (fun insn ->
+             { Image.insn; annot = Tagsim.Annot.plain; speculative = false })
+           insns);
+    code_symbols = Hashtbl.create 1;
+    data_symbols = Hashtbl.create 1;
+    data_words = data;
+    data_end = 4 * Array.length data;
+    source = [];
+  }
+
+let run_raw ?data insns =
+  let m = Machine.create ~hw (raw_image ?data insns) in
+  (Machine.run m, m)
+
+let check_halt name expected outcome =
+  match outcome with
+  | Machine.Halted n -> Alcotest.(check int) name expected n
+  | Machine.Aborted c -> Alcotest.failf "%s: aborted %d" name c
+
+let test_machine_arith () =
+  let outcome, _ =
+    run_raw
+      [
+        Insn.Li (Reg.t0, 20);
+        Insn.Li (Reg.t1, 22);
+        Insn.Alu (Insn.Add, Reg.v0, Reg.t0, Reg.t1);
+        Insn.Halt;
+      ]
+  in
+  check_halt "add" 42 outcome;
+  let outcome, _ =
+    run_raw
+      [
+        Insn.Li (Reg.t0, -17);
+        Insn.Alui (Insn.Rem, Reg.v0, Reg.t0, 5);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 2);
+        Insn.Halt;
+      ]
+  in
+  check_halt "rem" 0 outcome
+
+let test_machine_branch_slots () =
+  (* The two instructions in the slots of a (plain, taken) branch
+     execute; the fall-through after them does not. *)
+  let b cond =
+    Insn.B
+      ( { Insn.cond; rs = Reg.zero; rt = Reg.zero; squash = false;
+          hint = Insn.No_hint },
+        5 )
+  in
+  let outcome, _ =
+    run_raw
+      [
+        Insn.Li (Reg.v0, 0);
+        b Insn.Eq;
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 1);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 2);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 100);
+        Insn.Halt;
+      ]
+  in
+  check_halt "taken: slots only" 3 outcome;
+  (* not taken: slots AND fall-through execute *)
+  let outcome, _ =
+    run_raw
+      [
+        Insn.Li (Reg.v0, 0);
+        b Insn.Ne;
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 1);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 2);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 100);
+        Insn.Halt;
+      ]
+  in
+  check_halt "not taken: slots + fall-through" 103 outcome
+
+let test_machine_squash () =
+  (* Slots of a squashing branch are annulled when it is not taken, and
+     charged as squashed cycles. *)
+  let outcome, m =
+    run_raw
+      [
+        Insn.Li (Reg.v0, 7);
+        Insn.B
+          ( { Insn.cond = Insn.Ne; rs = Reg.zero; rt = Reg.zero;
+              squash = true; hint = Insn.No_hint },
+            4 );
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 1);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 2);
+        Insn.Halt;
+      ]
+  in
+  check_halt "squash annuls" 7 outcome;
+  Alcotest.(check int) "squash count" 2 (Machine.stats m).Stats.squashed;
+  (* taken: the slots do execute *)
+  let outcome, m =
+    run_raw
+      [
+        Insn.Li (Reg.v0, 7);
+        Insn.B
+          ( { Insn.cond = Insn.Eq; rs = Reg.zero; rt = Reg.zero;
+              squash = true; hint = Insn.No_hint },
+            4 );
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 1);
+        Insn.Alui (Insn.Add, Reg.v0, Reg.v0, 2);
+        Insn.Halt;
+      ]
+  in
+  check_halt "squash taken executes slots" 10 outcome;
+  Alcotest.(check int) "no squash when taken" 0
+    (Machine.stats m).Stats.squashed
+
+let test_machine_load_interlock () =
+  (* A load followed by an immediate use costs one extra cycle. *)
+  let interlocks gap =
+    let insns =
+      [ Insn.Ld (Insn.Plain, Reg.t1, Reg.zero, 0) ]
+      @ (if gap then [ Insn.Alui (Insn.Add, Reg.t2, Reg.zero, 1) ] else [])
+      @ [ Insn.Alu (Insn.Add, Reg.v0, Reg.t1, Reg.zero); Insn.Halt ]
+    in
+    let _, m = run_raw ~data:[| 5 |] insns in
+    (Machine.stats m).Stats.interlocks
+  in
+  Alcotest.(check int) "interlock charged" 1 (interlocks false);
+  Alcotest.(check int) "no interlock with a gap" 0 (interlocks true)
+
+let test_machine_call () =
+  (* jal: ra = address after the two delay slots; jr returns there. *)
+  let outcome, _ =
+    run_raw
+      [
+        (* 0 *) Insn.Li (Reg.a0, 5);
+        (* 1 *) Insn.Jal 5;
+        (* 2 *) Insn.Nop;
+        (* 3 *) Insn.Nop;
+        (* 4 *) Insn.Halt;
+        (* 5 *) Insn.Alu (Insn.Add, Reg.v0, Reg.a0, Reg.a0);
+        (* 6 *) Insn.Jr Reg.ra;
+        (* 7 *) Insn.Nop;
+        (* 8 *) Insn.Nop;
+      ]
+  in
+  check_halt "call/return" 10 outcome
+
+let test_machine_tag_ops () =
+  (* Btag and checked loads behave per the high5 geometry. *)
+  let pair_tag = Scheme.high5.Scheme.tag Scheme.Pair in
+  let item = Scheme.encode_ptr Scheme.high5 Scheme.Pair 256 in
+  let outcome, _ =
+    run_raw
+      [
+        (* 0 *) Insn.Li (Reg.t0, item);
+        (* 1 *)
+        Insn.Btag
+          ( { Insn.bt_neg = false; bt_rs = Reg.t0; bt_tag = pair_tag;
+              bt_squash = false; bt_hint = Insn.No_hint },
+            6 );
+        (* 2 *) Insn.Nop;
+        (* 3 *) Insn.Nop;
+        (* 4 *) Insn.Li (Reg.v0, 0);
+        (* 5 *) Insn.Halt;
+        (* 6 *) Insn.Li (Reg.v0, 1);
+        (* 7 *) Insn.Halt;
+      ]
+  in
+  check_halt "btag matches" 1 outcome;
+  (* a checked load with the wrong expected tag aborts; with the right
+     tag it reads through the masked address *)
+  let outcome, _ =
+    run_raw
+      [
+        Insn.Li (Reg.t0, item);
+        Insn.Ld (Insn.Checked (pair_tag + 1), Reg.v0, Reg.t0, 0);
+        Insn.Halt;
+      ]
+  in
+  (match outcome with
+  | Machine.Aborted c when c = Machine.err_type -> ()
+  | Machine.Aborted c -> Alcotest.failf "aborted %d" c
+  | Machine.Halted _ -> Alcotest.fail "checked load did not trap");
+  let data = Array.make 70 0 in
+  data.(64) <- 77;
+  (* word index of byte address 256 *)
+  let outcome, _ =
+    run_raw ~data
+      [
+        Insn.Li (Reg.t0, item);
+        Insn.Ld (Insn.Checked pair_tag, Reg.v0, Reg.t0, 0);
+        Insn.Halt;
+      ]
+  in
+  check_halt "checked load reads" 77 outcome
+
+let test_assembler_errors () =
+  let assemble build =
+    let b = Buf.create () in
+    build b;
+    ignore (Image.assemble b)
+  in
+  Alcotest.check_raises "undefined label"
+    (Image.Error "undefined code label nowhere") (fun () ->
+      assemble (fun b -> Buf.emit b (Insn.J "nowhere")));
+  Alcotest.check_raises "duplicate label" (Image.Error "duplicate label l")
+    (fun () ->
+      assemble (fun b ->
+          Buf.label b "l";
+          Buf.label b "l";
+          Buf.emit b Insn.Halt))
+
+let test_sched_hoisting () =
+  (* Independent instructions before a jump end up in its slots; the
+     machine still computes the same value. *)
+  let b = Buf.create () in
+  Buf.emit b (Insn.Li (Reg.t0, 1));
+  Buf.emit b (Insn.Li (Reg.t1, 2));
+  Buf.emit b (Insn.J "next");
+  Buf.label b "next";
+  Buf.emit b (Insn.Alu (Insn.Add, Reg.v0, Reg.t0, Reg.t1));
+  Buf.emit b Insn.Halt;
+  let image = Image.assemble b in
+  (* no Nop should have been inserted for the jump's slots *)
+  let noops =
+    Array.fold_left
+      (fun acc e -> if e.Image.insn = Insn.Nop then acc + 1 else acc)
+      0 image.Image.code
+  in
+  Alcotest.(check int) "slots filled by hoisting" 0 noops;
+  let m = Machine.create ~hw image in
+  match Machine.run m with
+  | Machine.Halted 3 -> ()
+  | Machine.Halted n -> Alcotest.failf "got %d" n
+  | Machine.Aborted c -> Alcotest.failf "aborted %d" c
+
+let suite =
+  [
+    ( "units",
+      [
+        Alcotest.test_case "word" `Quick test_word_basics;
+        Alcotest.test_case "sexp-reader" `Quick test_sexp_reader;
+        Alcotest.test_case "expander" `Quick test_expander;
+        Alcotest.test_case "scheme-encodings" `Quick test_scheme_encodings;
+        Alcotest.test_case "machine-arith" `Quick test_machine_arith;
+        Alcotest.test_case "machine-branch-slots" `Quick
+          test_machine_branch_slots;
+        Alcotest.test_case "machine-squash" `Quick test_machine_squash;
+        Alcotest.test_case "machine-interlock" `Quick
+          test_machine_load_interlock;
+        Alcotest.test_case "machine-call" `Quick test_machine_call;
+        Alcotest.test_case "machine-tag-ops" `Quick test_machine_tag_ops;
+        Alcotest.test_case "assembler-errors" `Quick test_assembler_errors;
+        Alcotest.test_case "sched-hoisting" `Quick test_sched_hoisting;
+      ] );
+  ]
