@@ -1,0 +1,26 @@
+# Convenience targets; the build itself is plain dune.
+
+.PHONY: all build test check bench experiments clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# The full gate: build, test suite, and a parallel smoke run of the
+# experiment driver (2 worker domains, predecoded engine).
+check: build
+	dune runtest
+	dune exec bin/tagsim_cli.exe -- experiments --only table3 --jobs 2
+
+bench: build
+	dune exec bench/main.exe
+
+experiments: build
+	dune exec bin/tagsim_cli.exe -- experiments --jobs 0
+
+clean:
+	dune clean

@@ -80,33 +80,104 @@ let tests =
       (Staged.stage (fun () -> simulate "dedgc"));
   ]
 
-let benchmark () =
+(* OLS ns/run estimates for one test, as (name, ns option) pairs. *)
+let analyze_one test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
   in
-  let results =
-    List.map
-      (fun test ->
-        let results = Benchmark.all cfg instances test in
-        let ols =
-          Analyze.ols ~bootstrap:0 ~r_square:false
-            ~predictors:Measure.[| run |]
-        in
-        Analyze.all ols Instance.monotonic_clock results)
-      (List.map (fun t -> Test.make_grouped ~name:"g" [ t ]) tests)
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
   in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let tbl = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name result acc ->
+      let ns =
+        match Analyze.OLS.estimates result with
+        | Some [ t ] -> Some t
+        | _ -> None
+      in
+      (name, ns) :: acc)
+    tbl []
+
+let benchmark () =
   Fmt.pr "@.Bechamel kernels (wall-clock per regeneration kernel):@.";
   List.iter
-    (fun tbl ->
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ t ] -> Fmt.pr "  %-44s %10.2f ms/run@." name (t /. 1e6)
-          | _ -> Fmt.pr "  %-44s (no estimate)@." name)
-        tbl)
-    results
+    (fun test ->
+      List.iter
+        (fun (name, ns) ->
+          match ns with
+          | Some t -> Fmt.pr "  %-44s %10.2f ms/run@." name (t /. 1e6)
+          | None -> Fmt.pr "  %-44s (no estimate)@." name)
+        (analyze_one test))
+    tests
+
+(* --- Phase 3: engine throughput, reference vs predecoded. ---
+
+   One pre-compiled program (boyer, full checking: exercises software
+   type checks, generic-arithmetic traps and the GC) simulated under
+   each engine.  Both engines produce bit-identical statistics
+   (test/suite_engines.ml), so any wall-clock gap is pure dispatch
+   overhead.  Reported as simulated MIPS: retired simulated
+   instructions per wall-clock second. *)
+
+let engine_program =
+  lazy
+    (let entry = Tagsim.Benchmarks.find "boyer" in
+     Tagsim.Program.compile ~scheme:Tagsim.Scheme.high5 ~support:chk
+       ~sizes:entry.Tagsim.Benchmarks.sizes entry.Tagsim.Benchmarks.source)
+
+let engine_insns =
+  lazy
+    (let result = Tagsim.Program.run (Lazy.force engine_program) in
+     assert (result.Tagsim.Program.abort = None);
+     Tagsim.Stats.executed_insns result.Tagsim.Program.stats)
+
+let engine_test engine name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Tagsim.Program.run ~engine (Lazy.force engine_program))))
+
+let engine_tests =
+  [
+    engine_test `Reference "engine-reference-boyer";
+    engine_test `Predecoded "engine-predecoded-boyer";
+  ]
+
+let engine_benchmark () =
+  let insns = float_of_int (Lazy.force engine_insns) in
+  Fmt.pr "@.Engine throughput (boyer, high5, full checking):@.";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, ns) ->
+          match ns with
+          | Some t ->
+              Fmt.pr "  %-28s %10.2f ms/run  %8.2f simulated MIPS@." name
+                (t /. 1e6)
+                (insns *. 1e3 /. t)
+          | None -> Fmt.pr "  %-28s (no estimate)@." name)
+        (analyze_one test))
+    engine_tests
 
 let () =
+  let jobs = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | ("--jobs" | "-j") :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
+        parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Tagsim.Analysis.Pool.set_default_jobs !jobs;
   print_all ();
-  benchmark ()
+  benchmark ();
+  engine_benchmark ()

@@ -56,6 +56,38 @@ let semi =
     & opt (some int) None
     & info [ "semi" ] ~docv:"BYTES" ~doc:"Semispace size in bytes.")
 
+let engine_arg =
+  let parse = function
+    | "reference" -> Ok `Reference
+    | "predecoded" -> Ok `Predecoded
+    | other -> Error (`Msg ("unknown engine: " ^ other))
+  in
+  let print ppf (e : Tagsim.Machine.engine) =
+    Fmt.string ppf
+      (match e with `Reference -> "reference" | `Predecoded -> "predecoded")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Predecoded
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulator engine: $(b,predecoded) (default; pre-compiled \
+           closures) or $(b,reference) (the re-decoding interpreter).  \
+           Both produce bit-identical statistics.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the experiment matrix; 0 means the \
+           recommended domain count of this machine.")
+
+let set_parallelism jobs engine =
+  Tagsim.Analysis.Pool.set_default_jobs jobs;
+  Tagsim.Analysis.Run.engine := engine
+
 let support_of checking config =
   if checking then Tagsim.Support.with_checking config else config
 
@@ -83,9 +115,9 @@ let pp_stats ppf (stats : Tagsim.Stats.t) =
   Fmt.pf ppf "collector     : %7d  (%5.2f%%)@\n" (Tagsim.Stats.gc stats)
     (pct (Tagsim.Stats.gc stats))
 
-let run_program source sizes scheme support =
+let run_program source sizes scheme support engine =
   let program, result =
-    Tagsim.Program.run_source ~sizes ~scheme ~support source
+    Tagsim.Program.run_source ~engine ~sizes ~scheme ~support source
   in
   (match result.Tagsim.Program.abort with
   | Some msg -> Fmt.pr "aborted: %s@." msg
@@ -114,22 +146,24 @@ let bench_name =
     & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,tagsim list)).")
 
 let run_cmd =
-  let run name scheme checking config semi =
+  let run name scheme checking config semi engine =
     let entry = Tagsim.Benchmarks.find name in
     Fmt.pr "== %s: %s@." name entry.Tagsim.Benchmarks.description;
     run_program entry.Tagsim.Benchmarks.source
       (sizes_of entry.Tagsim.Benchmarks.sizes semi)
       scheme
       (support_of checking config)
+      engine
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark program on the simulator.")
-    Term.(const run $ bench_name $ scheme $ checking $ config $ semi)
+    Term.(
+      const run $ bench_name $ scheme $ checking $ config $ semi $ engine_arg)
 
 (* --- file --- *)
 
 let file_cmd =
-  let run path scheme checking config semi =
+  let run path scheme checking config semi engine =
     let ic = open_in path in
     let n = in_channel_length ic in
     let source = really_input_string ic n in
@@ -138,6 +172,7 @@ let file_cmd =
       (sizes_of Tagsim.Layout.default_sizes semi)
       scheme
       (support_of checking config)
+      engine
   in
   let path =
     Arg.(
@@ -147,7 +182,7 @@ let file_cmd =
   in
   Cmd.v
     (Cmd.info "file" ~doc:"Compile and run a Lisp source file.")
-    Term.(const run $ path $ scheme $ checking $ config $ semi)
+    Term.(const run $ path $ scheme $ checking $ config $ semi $ engine_arg)
 
 (* --- list --- *)
 
@@ -199,7 +234,8 @@ let profile_cmd =
 (* --- experiments --- *)
 
 let experiments_cmd =
-  let run only =
+  let run only jobs engine =
+    set_parallelism jobs engine;
     let want name = only = [] || List.mem name only in
     if want "table1" then
       Fmt.pr "%a@." Tagsim.Analysis.Table1.pp
@@ -235,7 +271,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ only)
+    Term.(const run $ only $ jobs $ engine_arg)
 
 let () =
   let doc =

@@ -26,7 +26,26 @@ let suite_cycles sched =
       acc + Stats.total m.Run.stats)
     0 (Run.all_entries ())
 
+let sched_variants =
+  [
+    Sched.off;
+    { Sched.hoist = true; fill_unlikely = false; squash_likely = false };
+    { Sched.hoist = true; fill_unlikely = true; squash_likely = false };
+    Sched.default;
+  ]
+
 let measure () =
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun sched ->
+            List.map
+              (fun entry ->
+                Run.config ~sched ~scheme:Scheme.high5
+                  ~support:(Support.with_checking Support.software)
+                  entry)
+              (Run.all_entries ()))
+          sched_variants));
   {
     none = suite_cycles Sched.off;
     hoist_only =

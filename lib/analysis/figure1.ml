@@ -27,6 +27,15 @@ type t = {
 let measure ?(scheme = Scheme.high5) () =
   let base_support = Support.software in
   let chk_support = Support.with_checking Support.software in
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun entry ->
+            [
+              Run.config ~scheme ~support:base_support entry;
+              Run.config ~scheme ~support:chk_support entry;
+            ])
+          (Run.all_entries ())));
   let pairs =
     List.map
       (fun entry ->

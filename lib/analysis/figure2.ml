@@ -21,6 +21,15 @@ type t = {
 let measure ?(scheme = Scheme.high5) () =
   let base_support = Support.software in
   let ti_support = Support.row1_hw in
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun entry ->
+            [
+              Run.config ~scheme ~support:base_support entry;
+              Run.config ~scheme ~support:ti_support entry;
+            ])
+          (Run.all_entries ())));
   let deltas =
     List.map
       (fun entry ->

@@ -42,6 +42,30 @@ let garith_cycles stats =
 
 let measure () =
   let chk = Support.with_checking Support.software in
+  let dispatch_support =
+    Support.with_checking
+      { Support.software with Support.int_biased_arith = false }
+  in
+  let preshift_support =
+    { Support.software with Support.preshifted_pair_tag = true }
+  in
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun entry ->
+            List.map
+              (fun (scheme, support) -> Run.config ~scheme ~support entry)
+              [
+                (Scheme.high5, chk);
+                (Scheme.high6, chk);
+                (Scheme.high5, Support.software);
+                (Scheme.high5, dispatch_support);
+                (Scheme.high5, preshift_support);
+                (Scheme.low2, Support.software);
+                (Scheme.low3, Support.software);
+                (Scheme.high5, Support.row1_hw);
+              ])
+          (Run.all_entries ())));
   let share scheme entry =
     let m = Run.run ~scheme ~support:chk entry in
     Run.pct (garith_cycles m.Run.stats) (Stats.total m.Run.stats)
@@ -65,15 +89,8 @@ let measure () =
   in
   let base = suite Scheme.high5 Support.software in
   let base_rtc = suite Scheme.high5 chk in
-  let dispatch =
-    suite Scheme.high5
-      (Support.with_checking
-         { Support.software with Support.int_biased_arith = false })
-  in
-  let preshift =
-    suite Scheme.high5
-      { Support.software with Support.preshifted_pair_tag = true }
-  in
+  let dispatch = suite Scheme.high5 dispatch_support in
+  let preshift = suite Scheme.high5 preshift_support in
   let insertion_share =
     Run.mean
       (List.map

@@ -1,0 +1,54 @@
+(** A [Domain.spawn]-based worker pool for the experiment matrix
+    (OCaml 5 stdlib only).
+
+    [map] preserves input order and exception behaviour: items are pulled
+    off a shared atomic counter by [jobs] workers (the calling domain is
+    one of them), results land in a per-index slot, and the first
+    exception in input order is re-raised after all workers have joined —
+    so [map ~jobs:1 f l] is observably [List.map f l].
+
+    The pool is deliberately dumb: no work stealing, no futures, just a
+    fan-out over an index range, because every task (one compile+simulate
+    of a benchmark configuration) is seconds-coarse. *)
+
+(* Number of workers used when [map] is not given an explicit [jobs]:
+   set once by the CLI/bench [--jobs] flag.  1 (strictly serial) until
+   then. *)
+let default_jobs = ref 1
+
+let recommended () = Domain.recommended_domain_count ()
+
+(** Clamp and install the default worker count; [jobs <= 0] means
+    {!recommended}. *)
+let set_default_jobs jobs =
+  default_jobs := (if jobs <= 0 then recommended () else jobs)
+
+let map ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> !default_jobs in
+  let jobs = if jobs <= 0 then recommended () else jobs in
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* Each slot is written by exactly one domain and read only
+           after the join, so the plain array is race-free. *)
+        results.(i) <- Some (try Ok (f tasks.(i)) with e -> Error e);
+        go ()
+      end
+    in
+    go ()
+  in
+  let spawned =
+    List.init (min jobs n - 1 |> max 0) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok v) -> v
+       | Some (Error e) -> raise e
+       | None -> assert false)

@@ -1,0 +1,17 @@
+(** A [Domain.spawn]-based worker pool for the experiment matrix
+    (OCaml 5 stdlib only).  [map] preserves input order and re-raises
+    the first exception in input order, so [map ~jobs:1] is observably
+    [List.map]. *)
+
+(** Worker count used when [map] is not given [jobs] explicitly; 1 until
+    {!set_default_jobs} is called. *)
+val default_jobs : int ref
+
+(** [Domain.recommended_domain_count ()]. *)
+val recommended : unit -> int
+
+(** Install the default worker count; [jobs <= 0] means
+    {!recommended}. *)
+val set_default_jobs : int -> unit
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,8 +1,12 @@
 (** Measurement driver: run a benchmark under a configuration, validate
     its result, and hand back the statistics.  Runs are memoised — the
-    experiments share many configurations. *)
+    experiments share many configurations — behind a mutex, so that
+    {!run_many} can fan a configuration matrix out across the worker
+    domains of {!Pool} while the analysis modules keep their serial
+    aggregation code (which then hits the warmed cache). *)
 
 module Stats = Tagsim_sim.Stats
+module Machine = Tagsim_sim.Machine
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
 module Sched = Tagsim_asm.Sched
@@ -22,7 +26,24 @@ type measurement = {
   meta : Program.meta;
 }
 
+(** A point of the experiment matrix, as submitted to {!run_many}. *)
+type config = {
+  c_sched : Sched.config;
+  c_scheme : Scheme.t;
+  c_support : Support.t;
+  c_entry : Registry.entry;
+}
+
+(** Simulator engine used for measurements.  Both engines are
+    bit-identical in their statistics (the engine suite enforces it), so
+    this only selects the speed of reproduction. *)
+let engine : Machine.engine ref = ref `Predecoded
+
 let cache : (string, measurement) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
+
+let clear_cache () =
+  Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
 let sched_key (s : Sched.config) =
   Printf.sprintf "%b%b%b" s.Sched.hoist s.Sched.fill_unlikely
@@ -31,22 +52,29 @@ let sched_key (s : Sched.config) =
 let key entry scheme support sched =
   String.concat "/"
     [
+      (match !engine with `Reference -> "ref" | `Predecoded -> "pre");
       entry.Registry.name;
       scheme.Scheme.name;
       Support.describe support;
       sched_key sched;
     ]
 
+(* The computation is deliberately outside the cache lock: concurrent
+   workers may duplicate a measurement (it is deterministic, so the
+   last [replace] wins harmlessly), but they never serialise on the
+   simulator.  [run_many] de-duplicates its matrix up front, so in
+   practice each configuration is simulated once. *)
 let run ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
   let k = key entry scheme support sched in
-  match Hashtbl.find_opt cache k with
+  let cached = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k) in
+  match cached with
   | Some m -> m
   | None ->
       let program =
         Program.compile ~sched ~sizes:entry.Registry.sizes ~scheme ~support
           entry.Registry.source
       in
-      let result = Program.run program in
+      let result = Program.run ~engine:!engine program in
       (match result.Program.abort with
       | Some msg ->
           raise
@@ -72,8 +100,33 @@ let run ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
           meta = program.Program.meta;
         }
       in
-      Hashtbl.replace cache k m;
+      Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k m);
       m
+
+let run_config c =
+  run ~sched:c.c_sched ~scheme:c.c_scheme ~support:c.c_support c.c_entry
+
+(** Fan a configuration matrix out across the pool's worker domains and
+    return the measurements in input order.  Duplicated configurations
+    are simulated once. *)
+let run_many ?jobs (configs : config list) =
+  let seen = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun c ->
+        let k = key c.c_entry c.c_scheme c.c_support c.c_sched in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      configs
+  in
+  ignore (Pool.map ?jobs run_config distinct : measurement list);
+  List.map run_config configs
+
+let config ?(sched = Sched.default) ~scheme ~support entry =
+  { c_sched = sched; c_scheme = scheme; c_support = support; c_entry = entry }
 
 let all_entries () = Registry.all ()
 

@@ -1,9 +1,11 @@
 (** Measurement driver: run a benchmark under a configuration, validate
     its result against the registry's expected value, and hand back the
-    statistics.  Runs are memoised (the experiments share many
-    configurations). *)
+    statistics.  Runs are memoised behind a mutex (the experiments share
+    many configurations), and {!run_many} fans a configuration matrix
+    out across the {!Pool} worker domains. *)
 
 module Stats := Tagsim_sim.Stats
+module Machine := Tagsim_sim.Machine
 module Scheme := Tagsim_tags.Scheme
 module Support := Tagsim_tags.Support
 module Sched := Tagsim_asm.Sched
@@ -22,12 +24,39 @@ type measurement = {
   meta : Program.meta;
 }
 
+(** A point of the experiment matrix, as submitted to {!run_many}. *)
+type config = {
+  c_sched : Sched.config;
+  c_scheme : Scheme.t;
+  c_support : Support.t;
+  c_entry : Registry.entry;
+}
+
+(** Simulator engine used for measurements (default [`Predecoded]); both
+    engines produce bit-identical statistics. *)
+val engine : Machine.engine ref
+
+(** Empty the memo cache (tests). *)
+val clear_cache : unit -> unit
+
 val run :
   ?sched:Sched.config ->
   scheme:Scheme.t ->
   support:Support.t ->
   Registry.entry ->
   measurement
+
+val config :
+  ?sched:Sched.config ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  Registry.entry ->
+  config
+
+(** Run a configuration matrix on the pool's worker domains ([jobs]
+    defaults to {!Pool.default_jobs}) and return the measurements in
+    input order.  Duplicated configurations are simulated once. *)
+val run_many : ?jobs:int -> config list -> measurement list
 
 val all_entries : unit -> Registry.entry list
 

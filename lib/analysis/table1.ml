@@ -30,6 +30,17 @@ let added_cycles stats (src : Annot.source) =
 let measure ?(scheme = Scheme.high5) () =
   let base_support = Support.software in
   let chk_support = Support.with_checking Support.software in
+  (* Warm the measurement cache in parallel before the serial
+     aggregation below. *)
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun entry ->
+            [
+              Run.config ~scheme ~support:base_support entry;
+              Run.config ~scheme ~support:chk_support entry;
+            ])
+          (Run.all_entries ())));
   let rows =
     List.map
       (fun entry ->

@@ -81,6 +81,33 @@ let decompose ~base_scheme ~scheme support =
 
 let measure () =
   let h5 = Scheme.high5 in
+  (* The full matrix of this table, fanned out across the pool before
+     the serial aggregation below: (scheme, support) cells, each with
+     and without run-time checking, for every program. *)
+  let cells =
+    (Scheme.low2, Support.software)
+    :: List.map
+         (fun s -> (h5, s))
+         [
+           Support.software; Support.row1_hw; Support.row2; Support.row3;
+           Support.row4; Support.row5; Support.row6; Support.row7;
+           Support.spur;
+         ]
+  in
+  ignore
+    (Run.run_many
+       (List.concat_map
+          (fun (scheme, support) ->
+            List.concat_map
+              (fun entry ->
+                [
+                  Run.config ~scheme ~support entry;
+                  Run.config ~scheme
+                    ~support:(Support.with_checking support)
+                    entry;
+                ])
+              (Run.all_entries ()))
+          cells));
   {
     row1_software = speedup_vs ~base_scheme:h5 ~scheme:Scheme.low2 Support.software;
     row1 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row1_hw;

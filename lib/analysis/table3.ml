@@ -17,6 +17,11 @@ type row = {
 type t = row list
 
 let measure ?(scheme = Scheme.high5) () =
+  ignore
+    (Run.run_many
+       (List.map
+          (fun entry -> Run.config ~scheme ~support:Support.software entry)
+          (Run.all_entries ())));
   List.map
     (fun entry ->
       let m = Run.run ~scheme ~support:Support.software entry in

@@ -12,6 +12,7 @@ module Buf = Tagsim_asm.Buf
 module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
 module Machine = Tagsim_sim.Machine
+module Predecode = Tagsim_sim.Predecode
 module Stats = Tagsim_sim.Stats
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
@@ -253,9 +254,12 @@ let abort_message code =
   else if code = Machine.err_div0 then "division by zero"
   else Printf.sprintf "abort %d" code
 
-let load ?fuel t =
+let load ?fuel ?(engine = `Predecoded) t =
   let hw = Scheme.machine_hw ~mem_bytes:t.mem_bytes t.scheme in
-  let m = Machine.create ?fuel ~hw t.image in
+  let m = Machine.create ?fuel ~engine ~hw t.image in
+  (match engine with
+  | `Predecoded -> Predecode.attach m
+  | `Reference -> ());
   let map =
     L.compute_map ~data_end:t.image.Image.data_end ~sizes:t.sizes
       ~mem_bytes:t.mem_bytes
@@ -274,8 +278,8 @@ let load ?fuel t =
       ~sub:(Image.code_address t.image L.l_gsub_trap);
   (m, map)
 
-let run ?fuel t : result =
-  let m, map = load ?fuel t in
+let run ?fuel ?engine t : result =
+  let m, map = load ?fuel ?engine t in
   let outcome = Machine.run m in
   let peek_lbl lbl = Machine.peek m (Image.data_address t.image lbl) in
   let value, abort =
@@ -293,6 +297,6 @@ let run ?fuel t : result =
   }
 
 (** Compile and run in one step. *)
-let run_source ?sched ?sizes ?mem_bytes ?fuel ~scheme ~support source =
+let run_source ?sched ?sizes ?mem_bytes ?fuel ?engine ~scheme ~support source =
   let t = compile ?sched ?sizes ?mem_bytes ~scheme ~support source in
-  (t, run ?fuel t)
+  (t, run ?fuel ?engine t)

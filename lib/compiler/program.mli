@@ -67,10 +67,12 @@ type result = {
 val abort_message : int -> string
 
 (** Create a machine, poke the memory-map words and register the trap
-    handlers; ready to run from address 0. *)
-val load : ?fuel:int -> t -> Machine.t * L.map
+    handlers; ready to run from address 0.  [engine] selects the
+    simulator engine (default [`Predecoded], the fast path; both engines
+    produce bit-identical statistics). *)
+val load : ?fuel:int -> ?engine:Machine.engine -> t -> Machine.t * L.map
 
-val run : ?fuel:int -> t -> result
+val run : ?fuel:int -> ?engine:Machine.engine -> t -> result
 
 (** Compile and run in one step. *)
 val run_source :
@@ -78,6 +80,7 @@ val run_source :
   ?sizes:L.sizes ->
   ?mem_bytes:int ->
   ?fuel:int ->
+  ?engine:Machine.engine ->
   scheme:Scheme.t ->
   support:Support.t ->
   string ->

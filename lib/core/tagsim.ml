@@ -26,6 +26,7 @@ module Buf = Tagsim_asm.Buf
 module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
 module Machine = Tagsim_sim.Machine
+module Predecode = Tagsim_sim.Predecode
 module Stats = Tagsim_sim.Stats
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
@@ -42,6 +43,7 @@ module Program = Tagsim_compiler.Program
 module Oracle = Tagsim_compiler.Oracle
 module Benchmarks = Tagsim_programs.Registry
 module Analysis = struct
+  module Pool = Tagsim_analysis.Pool
   module Run = Tagsim_analysis.Run
   module Table1 = Tagsim_analysis.Table1
   module Table2 = Tagsim_analysis.Table2

@@ -6,11 +6,13 @@ exception Error of string
 
 let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
-let gensym_counter = ref 0
+(* Atomic: expansions may run concurrently in the experiment pool's
+   worker domains, and generated names must stay unique within a
+   program. *)
+let gensym_counter = Atomic.make 0
 
 let gensym prefix =
-  incr gensym_counter;
-  Printf.sprintf "%%%s%d" prefix !gensym_counter
+  Printf.sprintf "%%%s%d" prefix (Atomic.fetch_and_add gensym_counter 1 + 1)
 
 (* Surface names rewritten to binary primitive chains. *)
 let nary_binary =

@@ -26,6 +26,12 @@ exception Machine_error of string
 
 let errorf fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
 
+(** Execution engine selector.  [`Reference] re-decodes every retired
+    instruction (the original interpreter, kept as the semantic
+    baseline); [`Predecoded] runs closures compiled once per image by
+    {!Predecode.attach} and must produce bit-identical statistics. *)
+type engine = [ `Reference | `Predecoded ]
+
 (** Hardware configuration: tag geometry and the semantics of the
     tag-aware instructions.  Supplied by the tag scheme in use. *)
 type hw = {
@@ -55,7 +61,13 @@ type t = {
   mutable outcome : outcome option;
   mutable fuel : int;
   mutable in_slot : bool; (* executing a delay-slot instruction *)
+  engine : engine;
+  mutable exec : exec_fn array;
+      (* one step closure per code entry, installed by Predecode.attach;
+         [||] until then *)
 }
+
+and exec_fn = t -> unit
 
 (* Error codes used by [Aborted]. *)
 let err_type = 1
@@ -64,7 +76,7 @@ let err_mem = 3
 let err_div0 = 4
 let err_user_base = 16 (* Trap n aborts with code err_user_base + n *)
 
-let create ?(fuel = 600_000_000) ~hw (image : Image.t) =
+let create ?(fuel = 600_000_000) ?(engine = `Reference) ~hw (image : Image.t) =
   if hw.mem_bytes land (hw.mem_bytes - 1) <> 0 then
     invalid_arg "mem_bytes must be a power of two";
   let mem = Array.make (hw.mem_bytes / 4) 0 in
@@ -84,6 +96,8 @@ let create ?(fuel = 600_000_000) ~hw (image : Image.t) =
     outcome = None;
     fuel;
     in_slot = false;
+    engine;
+    exec = [||];
   }
 
 let set_gen_handlers t ~add ~sub =
@@ -96,15 +110,19 @@ let outcome t = t.outcome
 let set_reg t r v = if r <> Reg.zero then t.regs.(r) <- Word.of_int v
 let stats t = t.stats
 
+(* The range guard is on the (possibly negative signed) byte address
+   itself: [addr lsr 2] of a negative int is a huge positive index, so an
+   [idx < 0] test after the shift could never fire — a wild pointer must
+   fault on the address, not wrap. *)
 let read_word t addr =
-  let idx = addr lsr 2 in
-  if idx < 0 || idx >= Array.length t.mem then errorf "load fault at %d" addr
-  else t.mem.(idx)
+  if addr < 0 || addr lsr 2 >= Array.length t.mem then
+    errorf "load fault at %d" addr
+  else t.mem.(addr lsr 2)
 
 let write_word t addr v =
-  let idx = addr lsr 2 in
-  if idx < 0 || idx >= Array.length t.mem then errorf "store fault at %d" addr
-  else t.mem.(idx) <- Word.of_int v
+  if addr < 0 || addr lsr 2 >= Array.length t.mem then
+    errorf "store fault at %d" addr
+  else t.mem.(addr lsr 2) <- Word.of_int v
 
 (** Direct memory access for the host (loader, result decoding, perf
     counters). *)
@@ -342,7 +360,7 @@ let step t =
 
 exception Out_of_fuel
 
-let run t =
+let run_reference t =
   let rec loop () =
     match t.outcome with
     | Some o -> o
@@ -353,3 +371,29 @@ let run t =
         loop ()
   in
   loop ()
+
+(* The pre-decoded hot loop: an array-indexed closure call per retired
+   instruction, no re-decoding.  The closures are built by
+   {!Predecode.attach}. *)
+let run_predecoded t =
+  let exec = t.exec in
+  if Array.length exec <> Array.length t.code then
+    errorf "predecoded engine not attached (use Predecode.attach)";
+  let n = Array.length exec in
+  let rec loop () =
+    match t.outcome with
+    | Some o -> o
+    | None ->
+        if t.fuel <= 0 then raise Out_of_fuel;
+        t.fuel <- t.fuel - 1;
+        let pc = t.pc in
+        if pc < 0 || pc >= n then errorf "pc out of range: %d" pc;
+        (Array.unsafe_get exec pc) t;
+        loop ()
+  in
+  loop ()
+
+let run t =
+  match t.engine with
+  | `Reference -> run_reference t
+  | `Predecoded -> run_predecoded t

@@ -2,8 +2,17 @@
     instruction, with the deviations documented in the implementation
     header (wide immediates, multiply/divide, load-use interlocks,
     squashed slots, trap overhead) — all of them visible to the paper's
-    cycle accounting. *)
+    cycle accounting.
 
+    Two execution engines share this state:
+    - [`Reference]: the original interpreter, re-decoding every retired
+      instruction ({!step} in a loop);
+    - [`Predecoded]: each image entry is compiled once into a closure by
+      {!Predecode.attach}; {!run} then performs an array-indexed closure
+      call per instruction.  Both engines must produce bit-identical
+      {!Stats.t} (enforced by the differential engine suite). *)
+
+module Insn := Tagsim_mipsx.Insn
 module Image := Tagsim_asm.Image
 
 exception Machine_error of string
@@ -23,7 +32,31 @@ type hw = {
 
 type outcome = Halted of int | Aborted of int
 
-type t
+(** Execution engine selector (see the module header). *)
+type engine = [ `Reference | `Predecoded ]
+
+(** The machine state.  The record is exposed so that {!Predecode} can
+    compile closures that operate on it directly; treat it as read-only
+    outside [lib/sim] and use the accessors below. *)
+type t = {
+  hw : hw;
+  code : Image.entry array;
+  mem : int array;
+  regs : int array;
+  mutable pc : int;
+  mutable pending_load : int; (* register with an in-flight load, or -1 *)
+  mutable trap_dest : int; (* destination register of a trapped insn *)
+  mutable gen_add_handler : int; (* code address, -1 = none *)
+  mutable gen_sub_handler : int;
+  stats : Stats.t;
+  mutable outcome : outcome option;
+  mutable fuel : int;
+  mutable in_slot : bool; (* executing a delay-slot instruction *)
+  engine : engine;
+  mutable exec : exec_fn array; (* installed by Predecode.attach *)
+}
+
+and exec_fn = t -> unit
 
 (** {1 Abort codes} *)
 
@@ -37,7 +70,7 @@ val err_user_base : int
 
 (** {1 Lifecycle} *)
 
-val create : ?fuel:int -> hw:hw -> Image.t -> t
+val create : ?fuel:int -> ?engine:engine -> hw:hw -> Image.t -> t
 
 (** Register the trap handlers for hardware generic arithmetic. *)
 val set_gen_handlers : t -> add:int -> sub:int -> unit
@@ -59,10 +92,24 @@ val peek : t -> int -> int
 
 val poke : t -> int -> int -> unit
 
-(** Execute one instruction (including its delay slots). *)
+(** {1 Shared instruction semantics}
+
+    Used by both the reference interpreter and the pre-decoder, so the
+    two engines cannot drift. *)
+
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+val alu_cycles : Insn.alu -> int
+val alu_eval : Insn.alu -> int -> int -> int
+val cond_eval : Insn.cond -> int -> int -> bool
+val abort : t -> int -> unit
+val errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Execute one instruction (including its delay slots), by re-decoding
+    it: this is the reference engine's step and works on any machine. *)
 val step : t -> unit
 
 exception Out_of_fuel
 
-(** Run to completion. *)
+(** Run to completion with the machine's engine. *)
 val run : t -> outcome

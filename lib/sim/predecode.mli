@@ -1,0 +1,21 @@
+(** The pre-decoded execution engine: compiles each image entry once
+    into a closure with operands, cycle costs, annotation slot indices
+    and immediate-width charges resolved at decode time, so that
+    [Machine.run] on a [`Predecoded] machine retires an instruction with
+    one array-indexed closure call.  Produces bit-identical {!Stats.t}
+    to the reference interpreter (enforced by the engine differential
+    suite). *)
+
+module Image := Tagsim_asm.Image
+
+(** Build the closure array for a machine's code (exposed for tests;
+    normally use {!attach}). *)
+val compile : Machine.t -> Machine.exec_fn array
+
+(** Compile the machine's code and install the closure array on the
+    machine; idempotent.  Required before [Machine.run] on a machine
+    created with [~engine:`Predecoded]. *)
+val attach : Machine.t -> unit
+
+(** Convenience: [Machine.create ~engine:`Predecoded] plus {!attach}. *)
+val create : ?fuel:int -> hw:Machine.hw -> Image.t -> Machine.t

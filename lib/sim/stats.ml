@@ -55,6 +55,31 @@ let count_insn t klass =
   let i = Insn.klass_index klass in
   t.klass_insns.(i) <- t.klass_insns.(i) + 1
 
+(** Accumulate [src] into [dst]; used when combining the measurements of
+    partitioned work (e.g. the parallel experiment pool). *)
+let merge dst src =
+  dst.cycles <- dst.cycles + src.cycles;
+  dst.insns <- dst.insns + src.insns;
+  Array.iteri
+    (fun i v -> dst.kind_cycles.(i) <- dst.kind_cycles.(i) + v)
+    src.kind_cycles;
+  Array.iteri
+    (fun i v -> dst.klass_insns.(i) <- dst.klass_insns.(i) + v)
+    src.klass_insns;
+  dst.squashed <- dst.squashed + src.squashed;
+  dst.interlocks <- dst.interlocks + src.interlocks;
+  dst.traps <- dst.traps + src.traps;
+  dst.trap_cycles <- dst.trap_cycles + src.trap_cycles
+
+let equal a b =
+  a.cycles = b.cycles && a.insns = b.insns
+  && a.kind_cycles = b.kind_cycles
+  && a.klass_insns = b.klass_insns
+  && a.squashed = b.squashed
+  && a.interlocks = b.interlocks
+  && a.traps = b.traps
+  && a.trap_cycles = b.trap_cycles
+
 (* --- Accessors used by the analysis layer. --- *)
 
 let total t = t.cycles

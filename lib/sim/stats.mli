@@ -24,6 +24,15 @@ val slot : Annot.t -> int
 val charge : t -> Annot.t -> int -> unit
 val count_insn : t -> Insn.klass -> unit
 
+(** [merge dst src] accumulates every counter of [src] into [dst]; used
+    when combining the measurements of partitioned work (e.g. the
+    parallel experiment pool). *)
+val merge : t -> t -> unit
+
+(** Field-wise equality of every counter (the differential engine tests
+    rely on this being exhaustive). *)
+val equal : t -> t -> bool
+
 (** {1 Accessors used by the analysis layer} *)
 
 val total : t -> int

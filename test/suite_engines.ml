@@ -1,0 +1,105 @@
+(* Differential engine testing.  The predecoded closure engine
+   (Tagsim.Predecode) must be observationally identical to the reference
+   interpreter: every registry benchmark is compiled once per
+   configuration and simulated under both engines, and the result value,
+   abort status, GC counters and every Stats counter must match exactly.
+   The parallel measurement pool must likewise be oblivious to the
+   worker count. *)
+
+module P = Tagsim.Program
+module Stats = Tagsim.Stats
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Run = Tagsim.Analysis.Run
+module B = Tagsim.Benchmarks
+
+(* Software checking exercises the inline check/extract sequences and
+   the generic-arithmetic trap path; row7 exercises the checked memory
+   ops, btag branches and the hardware trap path. *)
+let configs =
+  [
+    ("high5 chk/software", Scheme.high5, Support.with_checking Support.software);
+    ("high5 chk/row7", Scheme.high5, Support.with_checking Support.row7);
+  ]
+
+let check_result name (a : P.result) (b : P.result) =
+  Alcotest.(check (option string))
+    (name ^ ": abort") a.P.abort b.P.abort;
+  Alcotest.(check (option string))
+    (name ^ ": value")
+    (Option.map P.hval_to_string a.P.value)
+    (Option.map P.hval_to_string b.P.value);
+  Alcotest.(check int)
+    (name ^ ": cycles")
+    (Stats.total a.P.stats) (Stats.total b.P.stats);
+  Alcotest.(check int)
+    (name ^ ": insns")
+    (Stats.executed_insns a.P.stats)
+    (Stats.executed_insns b.P.stats);
+  Alcotest.(check bool)
+    (name ^ ": all stats counters") true
+    (Stats.equal a.P.stats b.P.stats);
+  Alcotest.(check int)
+    (name ^ ": gc collections") a.P.gc_collections b.P.gc_collections;
+  Alcotest.(check int)
+    (name ^ ": gc bytes copied") a.P.gc_bytes_copied b.P.gc_bytes_copied
+
+let test_engines_agree (entry : B.entry) () =
+  List.iter
+    (fun (cname, scheme, support) ->
+      let program =
+        P.compile ~scheme ~support ~sizes:entry.B.sizes entry.B.source
+      in
+      let reference = P.run ~engine:`Reference program in
+      let predecoded = P.run ~engine:`Predecoded program in
+      check_result (entry.B.name ^ " " ^ cname) reference predecoded;
+      Alcotest.(check (option string))
+        (entry.B.name ^ " " ^ cname ^ ": no abort")
+        None reference.P.abort)
+    configs
+
+(* The memoised matrix driver must return the same measurements, in the
+   same order, for any worker count. *)
+let test_pool_jobs_agree () =
+  let entries = List.filteri (fun i _ -> i < 3) (Run.all_entries ()) in
+  let matrix =
+    List.concat_map
+      (fun e ->
+        [
+          Run.config ~scheme:Scheme.high5 ~support:Support.software e;
+          Run.config ~scheme:Scheme.high5
+            ~support:(Support.with_checking Support.software) e;
+          (* a duplicate: run_many must dedupe and still return it *)
+          Run.config ~scheme:Scheme.high5 ~support:Support.software e;
+        ])
+      entries
+  in
+  Run.clear_cache ();
+  let serial = Run.run_many ~jobs:1 matrix in
+  Run.clear_cache ();
+  let parallel = Run.run_many ~jobs:4 matrix in
+  Run.clear_cache ();
+  Alcotest.(check int)
+    "measurement count" (List.length matrix) (List.length serial);
+  List.iter2
+    (fun (a : Run.measurement) (b : Run.measurement) ->
+      Alcotest.(check string)
+        "input order preserved" a.Run.entry.B.name b.Run.entry.B.name;
+      Alcotest.(check bool)
+        (a.Run.entry.B.name ^ ": stats identical across job counts")
+        true
+        (Stats.equal a.Run.stats b.Run.stats);
+      Alcotest.(check int)
+        (a.Run.entry.B.name ^ ": gc collections")
+        a.Run.gc_collections b.Run.gc_collections)
+    serial parallel
+
+let suite =
+  [
+    ( "engines",
+      List.map
+        (fun (e : B.entry) ->
+          Alcotest.test_case e.B.name `Slow (test_engines_agree e))
+        (B.all ())
+      @ [ Alcotest.test_case "pool-jobs" `Quick test_pool_jobs_agree ] );
+  ]

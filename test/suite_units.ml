@@ -369,6 +369,50 @@ let test_sched_hoisting () =
   | Machine.Halted n -> Alcotest.failf "got %d" n
   | Machine.Aborted c -> Alcotest.failf "aborted %d" c
 
+let test_stats_merge_equal () =
+  let module Annot = Tagsim.Annot in
+  let sample k =
+    (* two distinguishable stats records built from scaled charges *)
+    let s = Stats.create () in
+    Stats.charge s Annot.plain (2 * k);
+    Stats.charge s (Annot.make ~checking:true (Annot.Check Annot.List_op)) k;
+    Stats.charge s (Annot.make Annot.Insert) (3 * k);
+    for _ = 1 to k do
+      Stats.count_insn s Insn.K_alu;
+      Stats.count_insn s Insn.K_load
+    done;
+    s.Stats.insns <- s.Stats.insns + (5 * k);
+    s.Stats.squashed <- k;
+    s.Stats.interlocks <- 2 * k;
+    s.Stats.traps <- k;
+    s.Stats.trap_cycles <- 4 * k;
+    s
+  in
+  let a = sample 1 and b = sample 2 in
+  Alcotest.(check bool) "equal: reflexive" true (Stats.equal a (sample 1));
+  Alcotest.(check bool) "equal: distinguishes" false (Stats.equal a b);
+  let dst = sample 1 in
+  Stats.merge dst b;
+  Alcotest.(check bool) "merge accumulates" true (Stats.equal dst (sample 3));
+  Alcotest.(check int) "merge sums cycles"
+    (Stats.total a + Stats.total b)
+    (Stats.total dst);
+  Alcotest.(check int) "merge sums insns"
+    (Stats.executed_insns a + Stats.executed_insns b)
+    (Stats.executed_insns dst);
+  Alcotest.(check int) "merge sums klass counts"
+    (Stats.klass_count a Insn.K_alu + Stats.klass_count b Insn.K_alu)
+    (Stats.klass_count dst Insn.K_alu);
+  (* a single differing array cell must break equality *)
+  let c = sample 1 in
+  Stats.count_insn c Insn.K_jump;
+  Alcotest.(check bool) "equal: sees klass_insns" false
+    (Stats.equal (sample 1) c);
+  let d = sample 1 in
+  Stats.charge d (Annot.make Annot.Gc_work) 1;
+  Alcotest.(check bool) "equal: sees kind_cycles" false
+    (Stats.equal (sample 1) d)
+
 let suite =
   [
     ( "units",
@@ -387,5 +431,6 @@ let suite =
         Alcotest.test_case "machine-tag-ops" `Quick test_machine_tag_ops;
         Alcotest.test_case "assembler-errors" `Quick test_assembler_errors;
         Alcotest.test_case "sched-hoisting" `Quick test_sched_hoisting;
+        Alcotest.test_case "stats-merge-equal" `Quick test_stats_merge_equal;
       ] );
   ]
