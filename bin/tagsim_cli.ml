@@ -60,20 +60,26 @@ let engine_arg =
   let parse = function
     | "reference" -> Ok `Reference
     | "predecoded" -> Ok `Predecoded
+    | "fused" -> Ok `Fused
     | other -> Error (`Msg ("unknown engine: " ^ other))
   in
   let print ppf (e : Tagsim.Machine.engine) =
     Fmt.string ppf
-      (match e with `Reference -> "reference" | `Predecoded -> "predecoded")
+      (match e with
+      | `Reference -> "reference"
+      | `Predecoded -> "predecoded"
+      | `Fused -> "fused")
   in
   Arg.(
     value
-    & opt (conv (parse, print)) `Predecoded
+    & opt (conv (parse, print)) `Fused
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Simulator engine: $(b,predecoded) (default; pre-compiled \
-           closures) or $(b,reference) (the re-decoding interpreter).  \
-           Both produce bit-identical statistics.")
+          "Simulator engine: $(b,fused) (default; basic-block fused \
+           closures with direct chaining), $(b,predecoded) \
+           (per-instruction pre-compiled closures) or $(b,reference) \
+           (the re-decoding interpreter).  All produce bit-identical \
+           statistics.")
 
 let jobs =
   Arg.(

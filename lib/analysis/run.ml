@@ -34,10 +34,10 @@ type config = {
   c_entry : Registry.entry;
 }
 
-(** Simulator engine used for measurements.  Both engines are
+(** Simulator engine used for measurements.  All engines are
     bit-identical in their statistics (the engine suite enforces it), so
     this only selects the speed of reproduction. *)
-let engine : Machine.engine ref = ref `Predecoded
+let engine : Machine.engine ref = ref `Fused
 
 let cache : (string, measurement) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
@@ -52,7 +52,10 @@ let sched_key (s : Sched.config) =
 let key entry scheme support sched =
   String.concat "/"
     [
-      (match !engine with `Reference -> "ref" | `Predecoded -> "pre");
+      (match !engine with
+      | `Reference -> "ref"
+      | `Predecoded -> "pre"
+      | `Fused -> "fus");
       entry.Registry.name;
       scheme.Scheme.name;
       Support.describe support;
@@ -108,13 +111,17 @@ let run_config c =
 
 (** Fan a configuration matrix out across the pool's worker domains and
     return the measurements in input order.  Duplicated configurations
-    are simulated once. *)
+    are simulated once: the pool maps over the distinct configurations
+    and the results are collected through a keyed map, with no second
+    simulation pass (the memo cache still gets warmed for later serial
+    callers). *)
 let run_many ?jobs (configs : config list) =
+  let config_key c = key c.c_entry c.c_scheme c.c_support c.c_sched in
   let seen = Hashtbl.create 64 in
   let distinct =
     List.filter
       (fun c ->
-        let k = key c.c_entry c.c_scheme c.c_support c.c_sched in
+        let k = config_key c in
         if Hashtbl.mem seen k then false
         else begin
           Hashtbl.replace seen k ();
@@ -122,8 +129,12 @@ let run_many ?jobs (configs : config list) =
         end)
       configs
   in
-  ignore (Pool.map ?jobs run_config distinct : measurement list);
-  List.map run_config configs
+  let measured = Pool.map ?jobs run_config distinct in
+  let by_key = Hashtbl.create 64 in
+  List.iter2
+    (fun c m -> Hashtbl.replace by_key (config_key c) m)
+    distinct measured;
+  List.map (fun c -> Hashtbl.find by_key (config_key c)) configs
 
 let config ?(sched = Sched.default) ~scheme ~support entry =
   { c_sched = sched; c_scheme = scheme; c_support = support; c_entry = entry }

@@ -13,6 +13,7 @@ module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
 module Machine = Tagsim_sim.Machine
 module Predecode = Tagsim_sim.Predecode
+module Fuse = Tagsim_sim.Fuse
 module Stats = Tagsim_sim.Stats
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
@@ -94,6 +95,14 @@ type t = {
   sizes : L.sizes;
   mem_bytes : int;
   meta : meta;
+  (* Engine-attachment caches: the pre-decoded closure array and the
+     fused block array compiled on the first [load] and installed
+     directly on every later machine for this program (they capture only
+     the image and the hardware configuration, both fixed per program,
+     never the machine).  [[||]] until first use; guarded by length, as
+     in [Predecode.attach]. *)
+  mutable exec_cache : Machine.exec_fn array;
+  mutable blocks_cache : Machine.block option array;
 }
 
 let count_lines src =
@@ -174,7 +183,17 @@ let compile ?(sched = Sched.default) ?(sizes = L.default_sizes)
       object_words = Image.size_in_words image;
     }
   in
-  { image; scheme; support; symtab; sizes; mem_bytes; meta }
+  {
+    image;
+    scheme;
+    support;
+    symtab;
+    sizes;
+    mem_bytes;
+    meta;
+    exec_cache = [||];
+    blocks_cache = [||];
+  }
 
 (* --- Loading and running. --- *)
 
@@ -254,12 +273,29 @@ let abort_message code =
   else if code = Machine.err_div0 then "division by zero"
   else Printf.sprintf "abort %d" code
 
-let load ?fuel ?(engine = `Predecoded) t =
+let load ?fuel ?(engine = `Fused) t =
   let hw = Scheme.machine_hw ~mem_bytes:t.mem_bytes t.scheme in
   let m = Machine.create ?fuel ~engine ~hw t.image in
+  let code_len = Array.length t.image.Image.code in
   (match engine with
-  | `Predecoded -> Predecode.attach m
-  | `Reference -> ());
+  | `Reference -> ()
+  | `Predecoded ->
+      if Array.length t.exec_cache = code_len then
+        m.Machine.exec <- t.exec_cache
+      else begin
+        Predecode.attach m;
+        t.exec_cache <- m.Machine.exec
+      end
+  | `Fused ->
+      if Array.length t.exec_cache = code_len then
+        m.Machine.exec <- t.exec_cache;
+      if Array.length t.blocks_cache = code_len then
+        m.Machine.blocks <- t.blocks_cache
+      else begin
+        Fuse.attach m;
+        t.exec_cache <- m.Machine.exec;
+        t.blocks_cache <- m.Machine.blocks
+      end);
   let map =
     L.compute_map ~data_end:t.image.Image.data_end ~sizes:t.sizes
       ~mem_bytes:t.mem_bytes

@@ -28,6 +28,11 @@ type t = {
   sizes : L.sizes;
   mem_bytes : int;
   meta : meta;
+  (* Engine-attachment caches, compiled on first [load] and shared by
+     every later machine for this program (the closures capture only the
+     image and hardware configuration, never a machine). *)
+  mutable exec_cache : Machine.exec_fn array;
+  mutable blocks_cache : Machine.block option array;
 }
 
 val compile :
@@ -68,7 +73,7 @@ val abort_message : int -> string
 
 (** Create a machine, poke the memory-map words and register the trap
     handlers; ready to run from address 0.  [engine] selects the
-    simulator engine (default [`Predecoded], the fast path; both engines
+    simulator engine (default [`Fused], the fast path; all engines
     produce bit-identical statistics). *)
 val load : ?fuel:int -> ?engine:Machine.engine -> t -> Machine.t * L.map
 

@@ -27,6 +27,7 @@ module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
 module Machine = Tagsim_sim.Machine
 module Predecode = Tagsim_sim.Predecode
+module Fuse = Tagsim_sim.Fuse
 module Stats = Tagsim_sim.Stats
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support

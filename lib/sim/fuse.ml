@@ -1,0 +1,881 @@
+(** The basic-block fusion engine.
+
+    [attach] builds the static control-flow graph over a machine's code
+    (leaders: the entry point, every code label, branch/jump targets,
+    fall-throughs after a control instruction and its two delay slots,
+    and the resumption point after each generic-arithmetic instruction)
+    and fuses each straight-line run of pre-decoded instruction bodies —
+    terminator and delay slots included — into a single block closure;
+    [Machine.run] on a [`Fused] machine then dispatches once per block
+    instead of once per instruction.
+
+    Inside a block everything statically knowable is pre-summed at fuse
+    time into one {!delta} applied in a single shot on block entry:
+    instruction and class counts, per-slot annotation cycles, ALU and
+    wide-immediate cycle charges, load-use interlocks between adjacent
+    in-block instructions (fully determined by the instruction pair),
+    and the terminator's own issue cycle.  The remaining per-instruction
+    work is threaded as a continuation chain — each closure does only
+    the genuinely dynamic part (register writes, memory traffic, trap
+    and abort detection) and tail-calls the next; no-ops and writes to
+    the zero register vanish entirely.  A dynamic early exit (division
+    by zero, a checked-access type trap, a generic-arithmetic trap)
+    subtracts the pre-summed statistics of the instructions that did not
+    execute and refunds their pre-paid fuel, so the engine stays
+    bit-identical to the reference interpreter — statistics, abort
+    codes, fuel trajectory and all (enforced by the three-way engine
+    differential suite).
+
+    Delay slots are fused into their branch whenever both slot
+    instructions are simple (not control, not generic arithmetic): the
+    branch's [interlock_check] resets [pending_load], so slot interlocks
+    are static — the first slot never interlocks and the second only
+    against a load in the first — and a conditional branch compiles two
+    slot chains (taken and fall-through) differing only in the final pc
+    update.  Register-indirect jumps latch their target in
+    [Machine.jump_target] before the slots run (a slot may clobber the
+    register).  Slots ride their branch's top-level retirement, so they
+    consume no fuel of their own.
+
+    The per-step [pending_load] interlock probe survives only at block
+    entry (the previous block may end in a load); everywhere else it is
+    resolved statically, and [pending_load] itself is written only at
+    block exits. *)
+
+module M = Machine
+module Insn = Tagsim_mipsx.Insn
+module Annot = Tagsim_mipsx.Annot
+module Reg = Tagsim_mipsx.Reg
+module Word = Tagsim_mipsx.Word
+module Image = Tagsim_asm.Image
+
+(* The fused continuation chain returns the successor pc so the dispatch
+   loop never round-trips through [t.pc]; [stopped] (any negative value)
+   signals that the outcome has been decided instead. *)
+type chain_fn = M.t -> int
+
+let stopped = -1
+
+let nop_klass = Insn.klass_index Insn.K_nop
+
+(* Counter-array geometry, taken from a throwaway Stats value so this
+   module cannot drift from the Stats layout. *)
+let n_kind_slots = Array.length (Stats.create ()).Stats.kind_cycles
+let n_klass_slots = Array.length (Stats.create ()).Stats.klass_insns
+
+(* --- Static statistics: accumulated densely at fuse time, applied
+   sparsely at run time. --- *)
+
+type acc = {
+  mutable a_cycles : int;
+  mutable a_insns : int;
+  mutable a_interlocks : int;
+  a_kind : int array; (* n_kind_slots *)
+  a_klass : int array; (* n_klass_slots *)
+}
+
+let acc_create () =
+  {
+    a_cycles = 0;
+    a_insns = 0;
+    a_interlocks = 0;
+    a_kind = Array.make n_kind_slots 0;
+    a_klass = Array.make n_klass_slots 0;
+  }
+
+let acc_add dst src =
+  dst.a_cycles <- dst.a_cycles + src.a_cycles;
+  dst.a_insns <- dst.a_insns + src.a_insns;
+  dst.a_interlocks <- dst.a_interlocks + src.a_interlocks;
+  Array.iteri (fun i v -> dst.a_kind.(i) <- dst.a_kind.(i) + v) src.a_kind;
+  Array.iteri (fun i v -> dst.a_klass.(i) <- dst.a_klass.(i) + v) src.a_klass
+
+(* Mirrors [Stats.count_insn] with the class index pre-resolved. *)
+let acc_count a ki =
+  a.a_insns <- a.a_insns + 1;
+  a.a_klass.(ki) <- a.a_klass.(ki) + 1
+
+(* Mirrors [Stats.charge] with the annotation slot pre-resolved. *)
+let acc_charge a si c =
+  a.a_cycles <- a.a_cycles + c;
+  a.a_kind.(si) <- a.a_kind.(si) + c
+
+(* Mirrors [Machine.interlock_check] firing: one no-op cycle. *)
+let acc_interlock a =
+  a.a_cycles <- a.a_cycles + 1;
+  a.a_interlocks <- a.a_interlocks + 1;
+  a.a_insns <- a.a_insns + 1;
+  a.a_klass.(nop_klass) <- a.a_klass.(nop_klass) + 1
+
+(** A pre-summed statistics delta, flattened into one int array so that
+    applying it is a single linear sweep: [0..2] hold the cycle,
+    instruction and interlock totals, [3] holds the index just past the
+    kind-counter pairs, and the rest are sparse (index, amount) pairs —
+    kind-cycle pairs first, class-count pairs after — because a block
+    typically touches a handful of the counter slots. *)
+type delta = int array
+
+let sparse arr =
+  let l = ref [] in
+  Array.iteri (fun i v -> if v <> 0 then l := v :: i :: !l) arr;
+  List.rev !l
+
+let compress a : delta =
+  let kind = sparse a.a_kind and klass = sparse a.a_klass in
+  let kind_end = 4 + List.length kind in
+  Array.of_list
+    (a.a_cycles :: a.a_insns :: a.a_interlocks :: kind_end :: kind @ klass)
+
+(* The sparse indices come from [Stats.slot]/[Insn.klass_index] by
+   construction, so the unchecked accesses below cannot go wrong. *)
+let delta_apply (s : Stats.t) (d : delta) =
+  s.Stats.cycles <- s.Stats.cycles + Array.unsafe_get d 0;
+  s.Stats.insns <- s.Stats.insns + Array.unsafe_get d 1;
+  s.Stats.interlocks <- s.Stats.interlocks + Array.unsafe_get d 2;
+  let kind_end = Array.unsafe_get d 3 in
+  let kc = s.Stats.kind_cycles in
+  let i = ref 4 in
+  while !i < kind_end do
+    let idx = Array.unsafe_get d !i in
+    Array.unsafe_set kc idx
+      (Array.unsafe_get kc idx + Array.unsafe_get d (!i + 1));
+    i := !i + 2
+  done;
+  let ki = s.Stats.klass_insns in
+  let len = Array.length d in
+  while !i < len do
+    let idx = Array.unsafe_get d !i in
+    Array.unsafe_set ki idx
+      (Array.unsafe_get ki idx + Array.unsafe_get d (!i + 1));
+    i := !i + 2
+  done
+
+let delta_undo (s : Stats.t) (d : delta) =
+  s.Stats.cycles <- s.Stats.cycles - Array.unsafe_get d 0;
+  s.Stats.insns <- s.Stats.insns - Array.unsafe_get d 1;
+  s.Stats.interlocks <- s.Stats.interlocks - Array.unsafe_get d 2;
+  let kind_end = Array.unsafe_get d 3 in
+  let kc = s.Stats.kind_cycles in
+  let i = ref 4 in
+  while !i < kind_end do
+    let idx = Array.unsafe_get d !i in
+    Array.unsafe_set kc idx
+      (Array.unsafe_get kc idx - Array.unsafe_get d (!i + 1));
+    i := !i + 2
+  done;
+  let ki = s.Stats.klass_insns in
+  let len = Array.length d in
+  while !i < len do
+    let idx = Array.unsafe_get d !i in
+    Array.unsafe_set ki idx
+      (Array.unsafe_get ki idx - Array.unsafe_get d (!i + 1));
+    i := !i + 2
+  done
+
+(* Specialised applier for a delta on the hot block-entry path: the
+   common small shapes (one or two kind pairs, one or two class pairs)
+   compile to straight-line adds through a flat closure, which beats the
+   generic header-and-sweep of [delta_apply]; anything larger falls back
+   to it.  The indices are trusted for the same reason as above. *)
+let apply_fn (d : delta) : Stats.t -> unit =
+  let dc = d.(0) and di = d.(1) and dl = d.(2) in
+  let ke = d.(3) in
+  let n = Array.length d in
+  match (ke - 4, n - ke) with
+  | 2, 2 ->
+      let i1 = d.(4) and v1 = d.(5) in
+      let j1 = d.(ke) and w1 = d.(ke + 1) in
+      fun s ->
+        s.Stats.cycles <- s.Stats.cycles + dc;
+        s.Stats.insns <- s.Stats.insns + di;
+        s.Stats.interlocks <- s.Stats.interlocks + dl;
+        let kc = s.Stats.kind_cycles and ki = s.Stats.klass_insns in
+        Array.unsafe_set kc i1 (Array.unsafe_get kc i1 + v1);
+        Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1)
+  | 4, 2 ->
+      let i1 = d.(4) and v1 = d.(5) and i2 = d.(6) and v2 = d.(7) in
+      let j1 = d.(ke) and w1 = d.(ke + 1) in
+      fun s ->
+        s.Stats.cycles <- s.Stats.cycles + dc;
+        s.Stats.insns <- s.Stats.insns + di;
+        s.Stats.interlocks <- s.Stats.interlocks + dl;
+        let kc = s.Stats.kind_cycles and ki = s.Stats.klass_insns in
+        Array.unsafe_set kc i1 (Array.unsafe_get kc i1 + v1);
+        Array.unsafe_set kc i2 (Array.unsafe_get kc i2 + v2);
+        Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1)
+  | 2, 4 ->
+      let i1 = d.(4) and v1 = d.(5) in
+      let j1 = d.(ke) and w1 = d.(ke + 1) in
+      let j2 = d.(ke + 2) and w2 = d.(ke + 3) in
+      fun s ->
+        s.Stats.cycles <- s.Stats.cycles + dc;
+        s.Stats.insns <- s.Stats.insns + di;
+        s.Stats.interlocks <- s.Stats.interlocks + dl;
+        let kc = s.Stats.kind_cycles and ki = s.Stats.klass_insns in
+        Array.unsafe_set kc i1 (Array.unsafe_get kc i1 + v1);
+        Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1);
+        Array.unsafe_set ki j2 (Array.unsafe_get ki j2 + w2)
+  | 4, 4 ->
+      let i1 = d.(4) and v1 = d.(5) and i2 = d.(6) and v2 = d.(7) in
+      let j1 = d.(ke) and w1 = d.(ke + 1) in
+      let j2 = d.(ke + 2) and w2 = d.(ke + 3) in
+      fun s ->
+        s.Stats.cycles <- s.Stats.cycles + dc;
+        s.Stats.insns <- s.Stats.insns + di;
+        s.Stats.interlocks <- s.Stats.interlocks + dl;
+        let kc = s.Stats.kind_cycles and ki = s.Stats.klass_insns in
+        Array.unsafe_set kc i1 (Array.unsafe_get kc i1 + v1);
+        Array.unsafe_set kc i2 (Array.unsafe_get kc i2 + v2);
+        Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1);
+        Array.unsafe_set ki j2 (Array.unsafe_get ki j2 + w2)
+  | _ -> fun s -> delta_apply s d
+
+(* Dynamic block-entry interlock (the one probe fusion cannot remove:
+   the previous block may end in a load). *)
+let interlock_stats (t : M.t) =
+  let s = t.M.stats in
+  s.Stats.cycles <- s.Stats.cycles + 1;
+  s.Stats.interlocks <- s.Stats.interlocks + 1;
+  s.Stats.insns <- s.Stats.insns + 1;
+  s.Stats.klass_insns.(nop_klass) <- s.Stats.klass_insns.(nop_klass) + 1
+
+(* Registers read by an instruction as a pre-resolved pair (at most two;
+   -1 = none). *)
+let read_regs (insn : int Insn.t) =
+  match Insn.reads insn with
+  | [] -> (-1, -1)
+  | [ r ] -> (r, -1)
+  | [ r1; r2 ] -> (r1, r2)
+  | _ -> assert false
+
+(* Statically-resolved load-use dependence: does [next] read the
+   destination of a preceding load [prev]?  (Only a load leaves
+   [pending_load] set; every other instruction resets it.) *)
+let interlocks_after prev_insn next_insn =
+  match prev_insn with
+  | Insn.Ld (_, rd, _, _) -> List.mem rd (Insn.reads next_insn)
+  | _ -> false
+
+let exit_pl_of (insn : int Insn.t) =
+  match insn with Insn.Ld (_, rd, _, _) -> rd | _ -> -1
+
+(* --- Block construction. --- *)
+
+type terminator = Ctl of int * Image.entry | Fall of int
+
+(* How the terminator's two delay slots are handled: [No_slots] for the
+   slotless control instructions, [Fused] when both slot instructions
+   are simple enough to fuse into the block, [Dynamic] otherwise (a slot
+   holds a control or generic-arithmetic instruction, or runs off the
+   end of code) — then the slots execute through the per-instruction
+   pre-decoded closures with the [in_slot] protocol intact. *)
+type ctl_slots = No_slots | Fused of Image.entry * Image.entry | Dynamic
+
+let leaders (m : M.t) =
+  let code = m.M.code in
+  let n = Array.length code in
+  let leader = Array.make n false in
+  if n > 0 then leader.(0) <- true;
+  let mark i = if i >= 0 && i < n then leader.(i) <- true in
+  Array.iter mark m.M.code_entries;
+  Array.iteri
+    (fun i (e : Image.entry) ->
+      match e.Image.insn with
+      | Insn.B (_, t) | Insn.Bi (_, t) | Insn.Btag (_, t) ->
+          mark t;
+          mark (i + 3)
+      | Insn.J t | Insn.Jal t ->
+          mark t;
+          mark (i + 3)
+      | Insn.Jr _ | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
+          mark (i + 3)
+      | Insn.Add_gen _ | Insn.Sub_gen _ ->
+          (* A resumable trap returns to the next instruction ([epc]),
+             so it must start a block. *)
+          mark (i + 1)
+      | Insn.Alu _ | Insn.Alui _ | Insn.Li _ | Insn.La _ | Insn.Mv _
+      | Insn.Ld _ | Insn.St _ | Insn.Settd _ | Insn.Nop ->
+          ())
+    code;
+  leader
+
+(* Effective data address, mirroring [Machine.effective] /
+   [Predecode.compile_simple] but with the instruction's code address
+   resolved statically for the fault message ([t.pc] is stale inside a
+   fused body); returns -1 for a type trap. *)
+let effective_fn (hw : M.hw) (e : Image.entry) p (mode : Insn.mem_mode) off =
+  let offw = Word.of_int off in
+  let mem_bytes = hw.M.mem_bytes in
+  let mem_mask = mem_bytes - 1 in
+  match mode with
+  | Insn.Plain ->
+      if e.Image.speculative then fun (_ : M.t) base ->
+        let addr = Word.add base offw in
+        if addr >= mem_bytes then addr land mem_mask else addr
+      else fun (_ : M.t) base ->
+        let addr = Word.add base offw in
+        if addr >= mem_bytes then
+          M.errorf "unmasked address 0x%08x at pc %d" addr p
+        else addr
+  | Insn.Tag_ignoring ->
+      let amask = hw.M.addr_mask in
+      fun _ base -> Word.add base offw land amask
+  | Insn.Checked expected ->
+      let shift = hw.M.tag_shift and width = hw.M.tag_width in
+      let exp_shifted = expected lsl shift in
+      fun _ base ->
+        if Word.field ~shift ~width base <> expected then -1
+        else Word.sub (Word.add base offw) exp_shifted land mem_mask
+
+(* The statically-knowable statistics of one simple instruction: its
+   count, its cycle charge when the charge is unconditional on the
+   success path, and the load-use interlock with its predecessor. *)
+let contribution (prev : Image.entry option) (e : Image.entry) =
+  let insn = e.Image.insn in
+  let si = Stats.slot e.Image.annot in
+  let a = acc_create () in
+  acc_count a (Insn.klass_index (Insn.klass insn));
+  (match insn with
+  | Insn.Alu (op, _, _, _) -> acc_charge a si (M.alu_cycles op)
+  | Insn.Alui ((Insn.Div | Insn.Rem), _, _, 0) ->
+      (* Always aborts before charging. *)
+      ()
+  | Insn.Alui (op, _, _, _) -> acc_charge a si (M.alu_cycles op)
+  | Insn.Li (_, v) -> acc_charge a si (Word.imm_cycles v)
+  | Insn.La (_, v) -> acc_charge a si (Word.imm_cycles v)
+  | Insn.Mv _ | Insn.Ld _ | Insn.St _ | Insn.Add_gen _ | Insn.Sub_gen _
+  | Insn.Settd _ | Insn.Nop ->
+      acc_charge a si 1
+  | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _ | Insn.Jr _
+  | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
+      assert false);
+  (match prev with
+  | Some pe when interlocks_after pe.Image.insn insn -> acc_interlock a
+  | _ -> ());
+  a
+
+(* Compile one simple instruction into a closure that does only the
+   genuinely dynamic work and tail-calls [next]; no-ops and writes to
+   the zero register compile to [next] itself.  On a dynamic exit the
+   closure restores the statistics pre-summed for the unexecuted
+   remainder of the block ([undo]), refunds its pre-paid fuel, and does
+   not call [next]. *)
+let compile_op (hw : M.hw) (e : Image.entry) ~pc:p ~undo ~refund
+    ~(next : chain_fn) : chain_fn =
+  let insn = e.Image.insn in
+  let exit_early u (t : M.t) =
+    delta_undo t.M.stats u;
+    if refund <> 0 then t.M.fuel <- t.M.fuel + refund
+  in
+  match insn with
+  | Insn.Nop -> next
+  | Insn.Alu (op, rd, rs, rt) -> (
+      let ev = Predecode.alu_fn op in
+      match op with
+      | Insn.Div | Insn.Rem ->
+          (* The charge is pre-summed for the success path; a division
+             by zero aborts before charging, so the undo of the suffix
+             also takes back this instruction's own cycles. *)
+          let u = Lazy.force undo in
+          fun t ->
+            let b = t.M.regs.(rt) in
+            if b = 0 then begin
+              exit_early u t;
+              M.abort t M.err_div0;
+              stopped
+            end
+            else begin
+              if rd <> Reg.zero then
+                t.M.regs.(rd) <- Word.of_int (ev t.M.regs.(rs) b);
+              next t
+            end
+      | _ ->
+          if rd = Reg.zero then next
+          else fun t ->
+            t.M.regs.(rd) <- Word.of_int (ev t.M.regs.(rs) t.M.regs.(rt));
+            next t)
+  | Insn.Alui (op, rd, rs, imm) ->
+      if (op = Insn.Div || op = Insn.Rem) && imm = 0 then
+        let u = Lazy.force undo in
+        fun t ->
+          exit_early u t;
+          M.abort t M.err_div0;
+          stopped
+      else if rd = Reg.zero then next
+      else
+        let ev = Predecode.alu_fn op in
+        let immw = Word.of_int imm in
+        fun t ->
+          t.M.regs.(rd) <- Word.of_int (ev t.M.regs.(rs) immw);
+          next t
+  | Insn.Li (rd, imm) ->
+      if rd = Reg.zero then next
+      else
+        let v = Word.of_int imm in
+        fun t ->
+          t.M.regs.(rd) <- v;
+          next t
+  | Insn.La (rd, addr) ->
+      if rd = Reg.zero then next
+      else
+        let v = Word.of_int addr in
+        fun t ->
+          t.M.regs.(rd) <- v;
+          next t
+  | Insn.Mv (rd, rs) ->
+      if rd = Reg.zero then next
+      else fun t ->
+        t.M.regs.(rd) <- t.M.regs.(rs);
+        next t
+  | Insn.Ld (mode, rd, rs, off) ->
+      let eff = effective_fn hw e p mode off in
+      let u = Lazy.force undo in
+      fun t ->
+        let addr = eff t t.M.regs.(rs) in
+        if addr < 0 then begin
+          exit_early u t;
+          M.abort t M.err_type;
+          stopped
+        end
+        else begin
+          if rd <> Reg.zero then t.M.regs.(rd) <- M.read_word t addr
+          else ignore (M.read_word t addr);
+          next t
+        end
+  | Insn.St (mode, rs, rt, off) ->
+      let eff = effective_fn hw e p mode off in
+      let u = Lazy.force undo in
+      fun t ->
+        let addr = eff t t.M.regs.(rs) in
+        if addr < 0 then begin
+          exit_early u t;
+          M.abort t M.err_type;
+          stopped
+        end
+        else begin
+          M.write_word t addr t.M.regs.(rt);
+          next t
+        end
+  | Insn.Add_gen (rd, rs, rt) | Insn.Sub_gen (rd, rs, rt) ->
+      let is_add = match insn with Insn.Add_gen _ -> true | _ -> false in
+      let garith_si =
+        Stats.slot
+          (Annot.make ~checking:e.Image.annot.Annot.checking Annot.Garith)
+      in
+      let overhead = hw.M.trap_overhead in
+      let is_int = hw.M.is_int_item in
+      let overflowed = hw.M.gen_overflowed in
+      let u = Lazy.force undo in
+      let resume = p + 1 in
+      fun t ->
+        let a = t.M.regs.(rs) and b = t.M.regs.(rt) in
+        let result = if is_add then Word.add a b else Word.sub a b in
+        if is_int a && is_int b && not (overflowed a b result) then begin
+          if rd <> Reg.zero then t.M.regs.(rd) <- result;
+          next t
+        end
+        else begin
+          (* A resumable trap (or a type abort when no handler is
+             registered).  The instruction itself retired — its count
+             and issue cycle stand — so only the unexecuted suffix is
+             undone; the handler's [rett] re-enters at the resumption
+             point [p + 1], which is always a block leader. *)
+          let handler =
+            if is_add then t.M.gen_add_handler else t.M.gen_sub_handler
+          in
+          exit_early u t;
+          if handler < 0 then begin
+            M.abort t M.err_type;
+            stopped
+          end
+          else begin
+            let s = t.M.stats in
+            s.Stats.traps <- s.Stats.traps + 1;
+            s.Stats.trap_cycles <- s.Stats.trap_cycles + overhead;
+            s.Stats.cycles <- s.Stats.cycles + overhead;
+            s.Stats.kind_cycles.(garith_si) <-
+              s.Stats.kind_cycles.(garith_si) + overhead;
+            t.M.regs.(Reg.tr0) <- a;
+            t.M.regs.(Reg.tr1) <- b;
+            t.M.trap_dest <- rd;
+            t.M.regs.(Reg.epc) <- resume;
+            t.M.pending_load <- -1;
+            handler
+          end
+        end
+  | Insn.Settd rs ->
+      fun t ->
+        M.set_reg t t.M.trap_dest t.M.regs.(rs);
+        next t
+  | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _ | Insn.Jr _
+  | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
+      assert false
+
+let squash_of (e : Image.entry) =
+  match e.Image.insn with
+  | Insn.B (b, _) -> b.Insn.squash
+  | Insn.Bi (b, _) -> b.Insn.bi_squash
+  | Insn.Btag (b, _) -> b.Insn.bt_squash
+  | _ -> false
+
+(* Fuse the block whose leader is [l].  [stop] is the first control
+   instruction at or after [l] (or the end of code).  The scan runs
+   straight through intermediate leaders — a block reaching a join point
+   duplicates the join's tail instead of falling through into it, so
+   only control transfers (and running off the end of code) ever return
+   to the dispatch loop; the overlapped instructions still get their own
+   block for direct entries. *)
+let build_block (m : M.t) l : M.block =
+  let hw = m.M.hw in
+  let code = m.M.code in
+  let n = Array.length code in
+  let rec scan j =
+    if j >= n || Insn.is_control code.(j).Image.insn then j else scan (j + 1)
+  in
+  let stop = scan l in
+  let len = stop - l in
+  let term = if stop < n then Ctl (stop, code.(stop)) else Fall stop in
+  let steps = len + (match term with Ctl _ -> 1 | Fall _ -> 0) in
+  let slots =
+    match term with
+    | Ctl (c, e) -> (
+        match e.Image.insn with
+        | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _
+        | Insn.Jr _ | Insn.Jalr _ ->
+            let fusible (se : Image.entry) =
+              match se.Image.insn with
+              | Insn.Add_gen _ | Insn.Sub_gen _ -> false
+              | i -> not (Insn.is_control i)
+            in
+            if c + 2 < n && fusible code.(c + 1) && fusible code.(c + 2) then
+              Fused (code.(c + 1), code.(c + 2))
+            else Dynamic
+        | _ -> No_slots)
+    | Fall _ -> No_slots
+  in
+  let squash = match term with Ctl (_, e) -> squash_of e | Fall _ -> false in
+  (* Per-unit static contributions: body instructions at 0..len-1, the
+     terminator at [len] (count, issue cycle, and its statically
+     resolved interlock against the body's trailing load), fused delay
+     slots at [len+1] and [len+2] (the first slot never interlocks — the
+     branch reset [pending_load] — and the second only against a load in
+     the first). *)
+  let contribs =
+    Array.init (len + 3) (fun k ->
+        if k < len then
+          let prev = if k = 0 then None else Some code.(l + k - 1) in
+          contribution prev code.(l + k)
+        else if k = len then (
+          match term with
+          | Fall _ -> acc_create ()
+          | Ctl (_, e) ->
+              let a = acc_create () in
+              acc_count a (Insn.klass_index (Insn.klass e.Image.insn));
+              acc_charge a (Stats.slot e.Image.annot) 1;
+              (if len > 0 then
+                 let exit_pl = exit_pl_of code.(stop - 1).Image.insn in
+                 if exit_pl >= 0 && List.mem exit_pl (Insn.reads e.Image.insn)
+                 then acc_interlock a);
+              a)
+        else
+          match slots with
+          | Fused (s1e, s2e) ->
+              if k = len + 1 then contribution None s1e
+              else contribution (Some s1e) s2e
+          | No_slots | Dynamic -> acc_create ())
+  in
+  (* The block-entry delta covers every unit that unconditionally
+     retires when the block runs to completion: the body and terminator
+     always; fused slots only when the branch cannot annul them (a
+     squashing branch applies the slot delta on its taken path
+     instead). *)
+  let entry_hi =
+    match slots with Fused _ when not squash -> len + 2 | _ -> len
+  in
+  let entry_delta =
+    let a = acc_create () in
+    for i = 0 to entry_hi do
+      acc_add a contribs.(i)
+    done;
+    compress a
+  in
+  let suffix ?charge lo hi =
+    lazy
+      (let a = acc_create () in
+       for i = lo to hi do
+         acc_add a contribs.(i)
+       done;
+       (match charge with
+       | Some (si, c) -> acc_charge a si c
+       | None -> ());
+       compress a)
+  in
+  (* The undo for a dynamic exit at unit [k]: the pre-summed suffix
+     after it, plus — for a division whose register divisor may be zero
+     — the instruction's own success-path charge (the reference never
+     charges an aborting division; the always-aborting [Alui ... 0] is
+     never charged in the first place, so it takes the plain suffix). *)
+  let undo_of (e : Image.entry) ~unit ~hi =
+    match e.Image.insn with
+    | Insn.Alu ((Insn.Div | Insn.Rem) as op, _, _, _) ->
+        suffix
+          ~charge:(Stats.slot e.Image.annot, M.alu_cycles op)
+          (unit + 1) hi
+    | _ -> suffix (unit + 1) hi
+  in
+  let tail : chain_fn =
+    match term with
+    | Fall fp ->
+        let exit_pl = exit_pl_of code.(stop - 1).Image.insn in
+        fun t ->
+          t.M.pending_load <- exit_pl;
+          fp
+    | Ctl (c, e) -> (
+        let insn = e.Image.insn in
+        let si = Stats.slot e.Image.annot in
+        let fall = c + 3 in
+        match insn with
+        | Insn.Rett ->
+            fun t ->
+              t.M.pending_load <- -1;
+              t.M.regs.(Reg.epc)
+        | Insn.Trap tc ->
+            let abort_code = M.err_user_base + tc in
+            fun t ->
+              M.abort t abort_code;
+              stopped
+        | Insn.Halt ->
+            fun t ->
+              t.M.outcome <- Some (M.Halted t.M.regs.(Reg.v0));
+              stopped
+        | _ -> (
+            match slots with
+            | Fused (s1e, s2e) -> (
+                let post_pl = exit_pl_of s2e.Image.insn in
+                (* Slot faults report the branch's address, like the
+                   reference (pc sits on the branch while slots run);
+                   slots ride the branch's retirement, so their pre-paid
+                   fuel refund is zero. *)
+                let slot_chain (fin : chain_fn) : chain_fn =
+                  let s2op =
+                    compile_op hw s2e ~pc:c
+                      ~undo:(undo_of s2e ~unit:(len + 2) ~hi:(len + 2))
+                      ~refund:0 ~next:fin
+                  in
+                  compile_op hw s1e ~pc:c
+                    ~undo:(undo_of s1e ~unit:(len + 1) ~hi:(len + 2))
+                    ~refund:0 ~next:s2op
+                in
+                let goto target : chain_fn =
+                 fun t ->
+                  t.M.pending_load <- post_pl;
+                  target
+                in
+                let indirect : chain_fn =
+                 fun t ->
+                  t.M.pending_load <- post_pl;
+                  t.M.jump_target
+                in
+                (* The taken/not-taken continuation pair of a
+                   conditional branch: a squashing branch applies the
+                   slot delta only when the slots actually run and
+                   charges the annulled cycles to its own kind slot
+                   otherwise; each condition test below dispatches
+                   between the two pre-built closures directly. *)
+                let paths target : chain_fn * chain_fn =
+                  if squash then
+                    let taken_chain = slot_chain (goto target) in
+                    let slots_apply =
+                      apply_fn (Lazy.force (suffix (len + 1) (len + 2)))
+                    in
+                    ( (fun t ->
+                        slots_apply t.M.stats;
+                        taken_chain t),
+                      fun t ->
+                        let s = t.M.stats in
+                        s.Stats.squashed <- s.Stats.squashed + 2;
+                        s.Stats.cycles <- s.Stats.cycles + 2;
+                        s.Stats.kind_cycles.(si) <-
+                          s.Stats.kind_cycles.(si) + 2;
+                        t.M.pending_load <- -1;
+                        fall )
+                  else (slot_chain (goto target), slot_chain (goto fall))
+                in
+                match insn with
+                | Insn.B (b, target) ->
+                    let cmp = Predecode.cond_fn b.Insn.cond in
+                    let rs = b.Insn.rs and rt = b.Insn.rt in
+                    let on_true, on_false = paths target in
+                    fun t ->
+                      if cmp t.M.regs.(rs) t.M.regs.(rt) then on_true t
+                      else on_false t
+                | Insn.Bi (b, target) ->
+                    let cmp = Predecode.cond_fn b.Insn.bi_cond in
+                    let rs = b.Insn.bi_rs in
+                    let immw = Word.of_int b.Insn.bi_imm in
+                    let on_true, on_false = paths target in
+                    fun t ->
+                      if cmp t.M.regs.(rs) immw then on_true t else on_false t
+                | Insn.Btag (b, target) ->
+                    let shift = hw.M.tag_shift and width = hw.M.tag_width in
+                    let rs = b.Insn.bt_rs in
+                    let neg = b.Insn.bt_neg and tag = b.Insn.bt_tag in
+                    let on_true, on_false = paths target in
+                    if neg then fun t ->
+                      if Word.field ~shift ~width t.M.regs.(rs) <> tag then
+                        on_true t
+                      else on_false t
+                    else fun t ->
+                      if Word.field ~shift ~width t.M.regs.(rs) = tag then
+                        on_true t
+                      else on_false t
+                | Insn.J target -> slot_chain (goto target)
+                | Insn.Jal target ->
+                    let ch = slot_chain (goto target) in
+                    let ra_v = c + 3 in
+                    fun t ->
+                      t.M.regs.(Reg.ra) <- ra_v;
+                      ch t
+                | Insn.Jr rs ->
+                    let ch = slot_chain indirect in
+                    fun t ->
+                      t.M.jump_target <- t.M.regs.(rs);
+                      ch t
+                | Insn.Jalr rs ->
+                    (* Target read before the link write, like the
+                       reference (jalr through ra must jump to the old
+                       value). *)
+                    let ch = slot_chain indirect in
+                    let ra_v = c + 3 in
+                    fun t ->
+                      t.M.jump_target <- t.M.regs.(rs);
+                      t.M.regs.(Reg.ra) <- ra_v;
+                      ch t
+                | _ -> assert false)
+            | No_slots | Dynamic -> (
+                (* Dynamic slots: run through the per-instruction
+                   pre-decoded closures with the [in_slot] protocol, so
+                   in-slot traps and aborts behave exactly as in the
+                   reference.  [pending_load] is reset first, as the
+                   branch's own [interlock_check] does. *)
+                let slot j : M.t -> unit =
+                  if j < 0 || j >= n then
+                    fun _ -> M.errorf "pc out of range: %d" j
+                  else Predecode.compile_simple hw code.(j)
+                in
+                let s1 = slot (c + 1) and s2 = slot (c + 2) in
+                let exec_slots (t : M.t) =
+                  t.M.in_slot <- true;
+                  s1 t;
+                  if t.M.outcome = None then s2 t;
+                  t.M.in_slot <- false
+                in
+                let squash_slots (t : M.t) =
+                  let s = t.M.stats in
+                  s.Stats.squashed <- s.Stats.squashed + 2;
+                  s.Stats.cycles <- s.Stats.cycles + 2;
+                  s.Stats.kind_cycles.(si) <- s.Stats.kind_cycles.(si) + 2
+                in
+                let finish (t : M.t) ~taken target =
+                  t.M.pending_load <- -1;
+                  if squash && not taken then squash_slots t
+                  else exec_slots t;
+                  if t.M.outcome = None then
+                    if taken then target else fall
+                  else stopped
+                in
+                match insn with
+                | Insn.B (b, target) ->
+                    let cmp = Predecode.cond_fn b.Insn.cond in
+                    let rs = b.Insn.rs and rt = b.Insn.rt in
+                    fun t ->
+                      finish t ~taken:(cmp t.M.regs.(rs) t.M.regs.(rt)) target
+                | Insn.Bi (b, target) ->
+                    let cmp = Predecode.cond_fn b.Insn.bi_cond in
+                    let rs = b.Insn.bi_rs in
+                    let immw = Word.of_int b.Insn.bi_imm in
+                    fun t -> finish t ~taken:(cmp t.M.regs.(rs) immw) target
+                | Insn.Btag (b, target) ->
+                    let shift = hw.M.tag_shift and width = hw.M.tag_width in
+                    let rs = b.Insn.bt_rs in
+                    let neg = b.Insn.bt_neg and tag = b.Insn.bt_tag in
+                    fun t ->
+                      let got = Word.field ~shift ~width t.M.regs.(rs) in
+                      finish t
+                        ~taken:(if neg then got <> tag else got = tag)
+                        target
+                | Insn.J target -> fun t -> finish t ~taken:true target
+                | Insn.Jal target ->
+                    let ra_v = c + 3 in
+                    fun t ->
+                      t.M.regs.(Reg.ra) <- ra_v;
+                      finish t ~taken:true target
+                | Insn.Jr rs ->
+                    fun t ->
+                      let target = t.M.regs.(rs) in
+                      finish t ~taken:true target
+                | Insn.Jalr rs ->
+                    let ra_v = c + 3 in
+                    fun t ->
+                      let target = t.M.regs.(rs) in
+                      t.M.regs.(Reg.ra) <- ra_v;
+                      finish t ~taken:true target
+                | _ -> assert false)))
+  in
+  (* Thread the body through the terminator as one continuation chain,
+     innermost first. *)
+  let rec chain k (next : chain_fn) : chain_fn =
+    if k < 0 then next
+    else
+      let e = code.(l + k) in
+      chain (k - 1)
+        (compile_op hw e ~pc:(l + k)
+           ~undo:(undo_of e ~unit:k ~hi:entry_hi)
+           ~refund:(steps - (k + 1)) ~next)
+  in
+  let body = chain (len - 1) tail in
+  (* The one dynamic interlock probe: the block's first instruction
+     against the previous block's trailing load.  (It does not reset
+     [pending_load] — nothing reads it again before a block exit writes
+     it.) *)
+  let er1, er2 = read_regs code.(l).Image.insn in
+  let entry_apply = apply_fn entry_delta in
+  let exec =
+    if er1 < 0 && er2 < 0 then fun t ->
+      entry_apply t.M.stats;
+      body t
+    else fun t ->
+      let pl = t.M.pending_load in
+      if pl >= 0 && (pl = er1 || pl = er2) then interlock_stats t;
+      entry_apply t.M.stats;
+      body t
+  in
+  {
+    M.b_pc = l;
+    M.b_steps = steps;
+    M.b_exec = exec;
+    M.b_next1 = None;
+    M.b_next2 = None;
+  }
+
+let compile (m : M.t) : M.block option array =
+  let n = Array.length m.M.code in
+  let leader = leaders m in
+  Array.init n (fun l -> if leader.(l) then Some (build_block m l) else None)
+
+(** Attach the fused engine: ensure the pre-decoded closures are
+    installed (the fused run loop falls back to them for fuel tails and
+    non-leader entry points), then build and install the block array;
+    idempotent (see {!Predecode.attach} for why the staleness test is on
+    lengths). *)
+let attach (m : M.t) =
+  Predecode.attach m;
+  if Array.length m.M.blocks <> Array.length m.M.code then
+    m.M.blocks <- compile m
+
+(** Convenience: a machine created with the fused engine already
+    attached. *)
+let create ?fuel ~hw image =
+  let m = M.create ?fuel ~engine:`Fused ~hw image in
+  attach m;
+  m

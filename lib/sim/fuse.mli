@@ -1,0 +1,30 @@
+(** The basic-block fusion engine: straight-line runs of pre-decoded
+    instructions are fused into single block closures with all
+    statically-knowable statistics (instruction and class counts,
+    per-slot cycle charges, in-block load-use interlocks) pre-summed
+    into one delta applied on block entry, and successor blocks chained
+    directly through a per-block memo.  [Machine.run] on a [`Fused]
+    machine dispatches once per block instead of once per instruction.
+    Produces bit-identical {!Stats.t} to the reference interpreter —
+    including on dynamic early exits (division by zero, checked-load
+    type traps, generic-arithmetic traps, fuel exhaustion), which undo
+    the pre-summed statistics and refund the pre-paid fuel of the
+    unexecuted block suffix (enforced by the three-way engine
+    differential suite). *)
+
+module Image := Tagsim_asm.Image
+
+(** Build the block array for a machine's code (exposed for tests;
+    normally use {!attach}).  Index [i] is [Some] iff [i] is a block
+    leader: the entry point, a code label, a branch or jump target, the
+    fall-through after a control instruction and its two delay slots, or
+    the resumption point after a generic-arithmetic instruction. *)
+val compile : Machine.t -> Machine.block option array
+
+(** Install the pre-decoded closures (via {!Predecode.attach}) and the
+    fused block array on the machine; idempotent.  Required before
+    [Machine.run] on a machine created with [~engine:`Fused]. *)
+val attach : Machine.t -> unit
+
+(** Convenience: [Machine.create ~engine:`Fused] plus {!attach}. *)
+val create : ?fuel:int -> hw:Machine.hw -> Image.t -> Machine.t

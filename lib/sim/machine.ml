@@ -29,8 +29,10 @@ let errorf fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
 (** Execution engine selector.  [`Reference] re-decodes every retired
     instruction (the original interpreter, kept as the semantic
     baseline); [`Predecoded] runs closures compiled once per image by
-    {!Predecode.attach} and must produce bit-identical statistics. *)
-type engine = [ `Reference | `Predecoded ]
+    {!Predecode.attach}; [`Fused] runs basic-block closures compiled by
+    {!Fuse.attach}, dispatching once per block.  All engines must
+    produce bit-identical statistics. *)
+type engine = [ `Reference | `Predecoded | `Fused ]
 
 (** Hardware configuration: tag geometry and the semantics of the
     tag-aware instructions.  Supplied by the tag scheme in use. *)
@@ -50,10 +52,16 @@ type outcome = Halted of int | Aborted of int
 type t = {
   hw : hw;
   code : Image.entry array;
+  code_entries : int array;
+      (* addresses of all code labels, for basic-block leader detection *)
   mem : int array;
   regs : int array;
   mutable pc : int;
   mutable pending_load : int; (* register with an in-flight load, or -1 *)
+  mutable jump_target : int;
+      (* scratch for fused register-indirect jumps: the target is read
+         before the delay slots run (they may clobber the register) and
+         consumed by the slot chain's final pc update *)
   mutable trap_dest : int; (* destination register of a trapped insn *)
   mutable gen_add_handler : int; (* code address, -1 = none *)
   mutable gen_sub_handler : int;
@@ -65,9 +73,35 @@ type t = {
   mutable exec : exec_fn array;
       (* one step closure per code entry, installed by Predecode.attach;
          [||] until then *)
+  mutable blocks : block option array;
+      (* one fused block per basic-block leader, indexed by leader pc,
+         installed by Fuse.attach; [||] until then *)
 }
 
 and exec_fn = t -> unit
+
+(* A fused basic block: [b_exec] retires the whole straight-line run
+   (body, terminator and its delay slots) in one call, with everything
+   statically knowable pre-summed at fuse time, and returns the next
+   program counter — or a negative value once the outcome is decided —
+   so the hot dispatch path never round-trips through [t.pc] (the slow
+   paths below re-materialise it).  [b_steps] is the number of top-level
+   retirements the block performs when it runs to completion (delay
+   slots ride their branch's retirement); the run loop pre-pays that
+   much fuel before entry (closures refund the unretired remainder on an
+   early dynamic exit).  The [b_next] slots memoise the successor lookup
+   (direct block chaining): after the first resolution a hot loop never
+   touches the dispatch array.  A memoised hit is validated against the
+   successor's immutable [b_pc], so a stale or torn memo read can only
+   miss, never execute the wrong block — block arrays may be shared
+   between machines running in parallel domains. *)
+and block = {
+  b_pc : int; (* leader address of this block *)
+  b_steps : int;
+  b_exec : t -> int;
+  mutable b_next1 : block option;
+  mutable b_next2 : block option;
+}
 
 (* Error codes used by [Aborted]. *)
 let err_type = 1
@@ -82,13 +116,19 @@ let create ?(fuel = 600_000_000) ?(engine = `Reference) ~hw (image : Image.t) =
   let mem = Array.make (hw.mem_bytes / 4) 0 in
   Array.blit image.Image.data_words 0 mem 0
     (Array.length image.Image.data_words);
+  let code_entries =
+    Hashtbl.fold (fun _ a acc -> a :: acc) image.Image.code_symbols []
+    |> Array.of_list
+  in
   {
     hw;
     code = image.Image.code;
+    code_entries;
     mem;
     regs = Array.make Reg.count 0;
     pc = 0;
     pending_load = -1;
+    jump_target = 0;
     trap_dest = 0;
     gen_add_handler = -1;
     gen_sub_handler = -1;
@@ -98,6 +138,7 @@ let create ?(fuel = 600_000_000) ?(engine = `Reference) ~hw (image : Image.t) =
     in_slot = false;
     engine;
     exec = [||];
+    blocks = [||];
   }
 
 let set_gen_handlers t ~add ~sub =
@@ -393,7 +434,81 @@ let run_predecoded t =
   in
   loop ()
 
+(* The fused hot loop: one closure call per basic block.  Fuel is
+   pre-paid per block; when the remaining fuel cannot cover a whole
+   block, the tail runs on the per-instruction predecoded closures so
+   that [Out_of_fuel] fires at the identical retirement count.  The
+   successor of a block is memoised in the block itself after its first
+   resolution (two slots, most-recent first), so hot loops chain
+   directly from block to block without consulting the dispatch
+   array. *)
+let run_fused t =
+  let blocks = t.blocks in
+  let exec = t.exec in
+  if
+    Array.length blocks <> Array.length t.code
+    || Array.length exec <> Array.length t.code
+  then errorf "fused engine not attached (use Fuse.attach)";
+  let n = Array.length t.code in
+  let resolve pc =
+    if pc < 0 || pc >= n then errorf "pc out of range: %d" pc;
+    Array.unsafe_get blocks pc
+  in
+  let rec dispatch () =
+    match t.outcome with
+    | Some o -> o
+    | None -> (
+        let pc = t.pc in
+        match resolve pc with Some b -> enter b | None -> step_one pc)
+  and enter b =
+    if t.fuel >= b.b_steps then begin
+      t.fuel <- t.fuel - b.b_steps;
+      let pc = b.b_exec t in
+      if pc >= 0 then
+        match b.b_next1 with
+        | Some nb when nb.b_pc = pc -> enter nb
+        | _ -> (
+            match b.b_next2 with
+            | Some nb when nb.b_pc = pc -> enter nb
+            | _ -> (
+                match resolve pc with
+                | Some nb ->
+                    (* Most recent resolution takes the front slot; a
+                       two-successor branch then stabilises with both
+                       memoised and no further writes. *)
+                    b.b_next2 <- b.b_next1;
+                    b.b_next1 <- Some nb;
+                    enter nb
+                | None ->
+                    (* Non-leader entry: hand the pc back to the
+                       per-instruction engine, which keeps [t.pc]
+                       current itself. *)
+                    t.pc <- pc;
+                    step_one pc))
+      else
+        match t.outcome with
+        | Some o -> o
+        | None -> errorf "fused block stopped without an outcome"
+    end
+    else begin
+      (* Fuel tail: finish instruction by instruction so [Out_of_fuel]
+         fires at the identical retirement count.  [t.pc] may be stale
+         when arriving via direct chaining — re-materialise it from the
+         block about to (not) run. *)
+      t.pc <- b.b_pc;
+      step_one b.b_pc
+    end
+  and step_one pc =
+    if t.fuel <= 0 then raise Out_of_fuel;
+    t.fuel <- t.fuel - 1;
+    if pc < 0 || pc >= n then errorf "pc out of range: %d" pc;
+    (Array.unsafe_get exec pc) t;
+    dispatch ()
+  in
+  dispatch ()
+
 let run t =
   match t.engine with
   | `Reference -> run_reference t
   | `Predecoded -> run_predecoded t
+  | `Fused -> run_fused t

@@ -4,13 +4,18 @@
     squashed slots, trap overhead) — all of them visible to the paper's
     cycle accounting.
 
-    Two execution engines share this state:
+    Three execution engines share this state:
     - [`Reference]: the original interpreter, re-decoding every retired
       instruction ({!step} in a loop);
     - [`Predecoded]: each image entry is compiled once into a closure by
       {!Predecode.attach}; {!run} then performs an array-indexed closure
-      call per instruction.  Both engines must produce bit-identical
-      {!Stats.t} (enforced by the differential engine suite). *)
+      call per instruction;
+    - [`Fused]: straight-line runs of pre-decoded instructions are fused
+      into basic-block closures by {!Fuse.attach}; {!run} then dispatches
+      once per block, with statically-knowable statistics pre-summed and
+      successor blocks chained directly.  All engines must produce
+      bit-identical {!Stats.t} (enforced by the differential engine
+      suite). *)
 
 module Insn := Tagsim_mipsx.Insn
 module Image := Tagsim_asm.Image
@@ -33,18 +38,23 @@ type hw = {
 type outcome = Halted of int | Aborted of int
 
 (** Execution engine selector (see the module header). *)
-type engine = [ `Reference | `Predecoded ]
+type engine = [ `Reference | `Predecoded | `Fused ]
 
-(** The machine state.  The record is exposed so that {!Predecode} can
-    compile closures that operate on it directly; treat it as read-only
-    outside [lib/sim] and use the accessors below. *)
+(** The machine state.  The record is exposed so that {!Predecode} and
+    {!Fuse} can compile closures that operate on it directly; treat it
+    as read-only outside [lib/sim] and use the accessors below. *)
 type t = {
   hw : hw;
   code : Image.entry array;
+  code_entries : int array; (* addresses of all code labels *)
   mem : int array;
   regs : int array;
   mutable pc : int;
   mutable pending_load : int; (* register with an in-flight load, or -1 *)
+  mutable jump_target : int;
+      (* scratch for fused register-indirect jumps: the target is read
+         before the delay slots run (they may clobber the register) and
+         consumed by the slot chain's final pc update *)
   mutable trap_dest : int; (* destination register of a trapped insn *)
   mutable gen_add_handler : int; (* code address, -1 = none *)
   mutable gen_sub_handler : int;
@@ -54,9 +64,27 @@ type t = {
   mutable in_slot : bool; (* executing a delay-slot instruction *)
   engine : engine;
   mutable exec : exec_fn array; (* installed by Predecode.attach *)
+  mutable blocks : block option array; (* installed by Fuse.attach *)
 }
 
 and exec_fn = t -> unit
+
+(** A fused basic block (built by {!Fuse.attach}): [b_exec] retires the
+    whole straight-line run — including the terminator's delay slots —
+    in one call and returns the successor pc (negative once the outcome
+    is decided), [b_steps] top-level retirements of fuel are pre-paid by
+    the run loop (slots ride their branch's retirement), and the
+    [b_next] slots memoise successor blocks for direct chaining.  A memo
+    hit is validated against the immutable [b_pc], so a stale or torn
+    read can only miss, never mis-chain: block arrays are shareable
+    across domains. *)
+and block = {
+  b_pc : int; (* leader address of this block *)
+  b_steps : int;
+  b_exec : t -> int;
+  mutable b_next1 : block option;
+  mutable b_next2 : block option;
+}
 
 (** {1 Abort codes} *)
 

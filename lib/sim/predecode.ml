@@ -361,10 +361,18 @@ let compile (m : M.t) : M.exec_fn array =
 
 (** Compile the machine's code and install the closure array; idempotent.
     The closures capture the machine's hardware configuration, so they
-    are attached to (and only valid for) machines sharing it. *)
+    are attached to (and only valid for) machines sharing it.
+
+    The staleness test must be on array {e lengths} only: [exec] starts
+    out as the shared empty atom, and compiling an empty code image
+    yields that same atom, so a structural [m.exec = [||]] guard is true
+    for every empty-code machine even after a successful attach and
+    recompiles it on every call.  A compiled array has the code's length
+    by construction (physically distinct from the initial [[||]] exactly
+    when the image is non-empty), so a length mismatch is the one
+    condition under which compilation is actually missing. *)
 let attach (m : M.t) =
-  if Array.length m.M.exec <> Array.length m.M.code || m.M.exec = [||] then
-    m.M.exec <- compile m
+  if Array.length m.M.exec <> Array.length m.M.code then m.M.exec <- compile m
 
 (** Convenience: a machine created with the pre-decoded engine already
     attached. *)

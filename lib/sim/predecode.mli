@@ -7,10 +7,23 @@
     suite). *)
 
 module Image := Tagsim_asm.Image
+module Insn := Tagsim_mipsx.Insn
 
 (** Build the closure array for a machine's code (exposed for tests;
     normally use {!attach}). *)
 val compile : Machine.t -> Machine.exec_fn array
+
+(** Compile one non-control instruction into its body closure (no pc
+    advance).  Shared with {!Fuse}, which uses it for the delay-slot
+    closures of fused block terminators. *)
+val compile_simple : Machine.hw -> Image.entry -> Machine.exec_fn
+
+(** Pre-resolved evaluators (mirror {!Machine.alu_eval} and
+    {!Machine.cond_eval} with the constructor dispatch done once).
+    Shared with {!Fuse} so the engines cannot drift. *)
+val alu_fn : Insn.alu -> int -> int -> int
+
+val cond_fn : Insn.cond -> int -> int -> bool
 
 (** Compile the machine's code and install the closure array on the
     machine; idempotent.  Required before [Machine.run] on a machine

@@ -1,10 +1,16 @@
 (* Differential engine testing.  The predecoded closure engine
-   (Tagsim.Predecode) must be observationally identical to the reference
-   interpreter: every registry benchmark is compiled once per
-   configuration and simulated under both engines, and the result value,
-   abort status, GC counters and every Stats counter must match exactly.
-   The parallel measurement pool must likewise be oblivious to the
-   worker count. *)
+   (Tagsim.Predecode) and the basic-block fusion engine (Tagsim.Fuse)
+   must be observationally identical to the reference interpreter: every
+   registry benchmark is compiled once per configuration and simulated
+   under all three engines, and the result value, abort status, GC
+   counters and every Stats counter must match exactly.  Targeted raw
+   images then exercise the fused engine's dynamic-exit paths, where the
+   pre-summed block statistics must be unwound: generic-arithmetic traps
+   with a [rett] resume, squashing branches, fuel exhaustion inside a
+   block, checked-load type traps and division by zero mid-block, and
+   the load-use interlock both resolved statically inside a block and
+   probed dynamically at a block boundary.  The parallel measurement
+   pool must likewise be oblivious to the worker count. *)
 
 module P = Tagsim.Program
 module Stats = Tagsim.Stats
@@ -12,6 +18,14 @@ module Scheme = Tagsim.Scheme
 module Support = Tagsim.Support
 module Run = Tagsim.Analysis.Run
 module B = Tagsim.Benchmarks
+module Machine = Tagsim.Machine
+module Predecode = Tagsim.Predecode
+module Fuse = Tagsim.Fuse
+module Insn = Tagsim.Insn
+module Reg = Tagsim.Reg
+module Buf = Tagsim.Buf
+module Sched = Tagsim.Sched
+module Image = Tagsim.Image
 
 (* Software checking exercises the inline check/extract sequences and
    the generic-arithmetic trap path; row7 exercises the checked memory
@@ -52,11 +66,239 @@ let test_engines_agree (entry : B.entry) () =
       in
       let reference = P.run ~engine:`Reference program in
       let predecoded = P.run ~engine:`Predecoded program in
-      check_result (entry.B.name ^ " " ^ cname) reference predecoded;
+      let fused = P.run ~engine:`Fused program in
+      check_result (entry.B.name ^ " " ^ cname ^ " pre") reference predecoded;
+      check_result (entry.B.name ^ " " ^ cname ^ " fus") reference fused;
       Alcotest.(check (option string))
         (entry.B.name ^ " " ^ cname ^ ": no abort")
         None reference.P.abort)
     configs
+
+(* --- Targeted raw images: the fused engine's dynamic exits. --- *)
+
+let scheme = Scheme.high5
+let hw = Scheme.machine_hw ~mem_bytes:(1 lsl 20) scheme
+
+(* Assemble [build b] without the slot scheduler (slots are laid out by
+   hand) and run it under one engine. *)
+let assemble build =
+  let b = Buf.create () in
+  build b;
+  Image.assemble ~sched:Sched.off b
+
+let run_raw ?fuel ?(setup = fun _ -> ()) image engine =
+  let m = Machine.create ?fuel ~engine ~hw image in
+  (match engine with
+  | `Reference -> ()
+  | `Predecoded -> Predecode.attach m
+  | `Fused -> Fuse.attach m);
+  Machine.set_reg m Reg.rmask scheme.Scheme.data_mask;
+  setup m;
+  let outcome =
+    try `Done (Machine.run m) with Machine.Out_of_fuel -> `Fuel
+  in
+  (outcome, Machine.stats m)
+
+let outcome_str = function
+  | `Fuel -> "out-of-fuel"
+  | `Done (Machine.Halted v) -> Printf.sprintf "halted %d" v
+  | `Done (Machine.Aborted c) -> Printf.sprintf "aborted %d" c
+
+(* Run under all three engines; reference is ground truth. *)
+let check_three name ?fuel ?setup image =
+  let ro, rs = run_raw ?fuel ?setup image `Reference in
+  let po, ps = run_raw ?fuel ?setup image `Predecoded in
+  let fo, fs = run_raw ?fuel ?setup image `Fused in
+  Alcotest.(check string)
+    (name ^ ": predecoded outcome") (outcome_str ro) (outcome_str po);
+  Alcotest.(check string)
+    (name ^ ": fused outcome") (outcome_str ro) (outcome_str fo);
+  Alcotest.(check bool)
+    (name ^ ": predecoded stats") true (Stats.equal rs ps);
+  Alcotest.(check bool) (name ^ ": fused stats") true (Stats.equal rs fs);
+  (ro, rs)
+
+let expect_outcome name expected (outcome, _) =
+  Alcotest.(check string) (name ^ ": outcome") expected (outcome_str outcome)
+
+let add = Insn.Alui (Insn.Add, Reg.t2, Reg.t2, 1)
+
+(* A generic-arithmetic trap in the middle of a straight line, with a
+   [settd]-patching handler and a [rett] resume: the trapping block must
+   keep its executed prefix's statistics (including the trap's own issue
+   cycle), charge the trap overhead, and resume at [epc] — which the
+   fuser guarantees is a block leader. *)
+let test_garith_rett () =
+  let int_item n = Scheme.encode_int scheme n in
+  let pair_item = Scheme.encode_ptr scheme Scheme.Pair (256 * 8) in
+  let image =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, int_item 5));
+        Buf.emit b (Insn.Li (Reg.t1, pair_item));
+        Buf.emit b (Insn.Alu (Insn.Add, Reg.t2, Reg.t0, Reg.t0));
+        Buf.emit b (Insn.Add_gen (Reg.t3, Reg.t0, Reg.t1));
+        (* resume point: the handler patched t3 to 42 *)
+        Buf.emit b (Insn.Alui (Insn.Add, Reg.t3, Reg.t3, 1));
+        Buf.emit b (Insn.Mv (Reg.v0, Reg.t3));
+        Buf.emit b Insn.Halt;
+        Buf.label b "gadd";
+        Buf.emit b (Insn.Li (Reg.k0, 42));
+        Buf.emit b (Insn.Settd Reg.k0);
+        Buf.emit b Insn.Rett)
+  in
+  let setup m =
+    Machine.set_gen_handlers m
+      ~add:(Image.code_address image "gadd")
+      ~sub:(Image.code_address image "gadd")
+  in
+  let r = check_three "garith-rett" ~setup image in
+  expect_outcome "garith-rett" "halted 43" r;
+  Alcotest.(check int) "garith-rett: one trap" 1 (snd r).Stats.traps
+
+(* Squashing branches, both ways.  The assembler inserts the two delay
+   slots itself (no-ops under [Sched.off]): a taken squashing branch
+   executes its slots, a not-taken one annuls them — two cycles charged
+   to the branch's slot, no instructions retired. *)
+let test_squash_branch () =
+  let branch cond target =
+    Insn.B
+      ( { Insn.cond; rs = Reg.t0; rt = Reg.t1; squash = true;
+          hint = Insn.No_hint },
+        target )
+  in
+  let image =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, 1));
+        Buf.emit b (Insn.Li (Reg.t1, 1));
+        Buf.emit b (Insn.Li (Reg.t2, 0));
+        (* taken squashing branch: both (no-op) slots execute *)
+        Buf.emit b (branch Insn.Eq "l1");
+        Buf.label b "l1";
+        (* not-taken squashing branch: both slots annulled *)
+        Buf.emit b (branch Insn.Ne "bad");
+        Buf.emit b (Insn.Mv (Reg.v0, Reg.t2));
+        Buf.emit b Insn.Halt;
+        Buf.label b "bad";
+        Buf.emit b (Insn.Trap 1))
+  in
+  let r = check_three "squash-branch" image in
+  expect_outcome "squash-branch" "halted 0" r;
+  Alcotest.(check int) "squash-branch: two squashed slots" 2
+    (snd r).Stats.squashed;
+  (* 3 li + taken branch + its 2 slot no-ops + not-taken branch + mv +
+     halt; the annulled slots retire nothing *)
+  Alcotest.(check int) "squash-branch: nine retirements" 9
+    (Stats.executed_insns (snd r))
+
+(* Fuel exhaustion in the middle of what fusion makes a single block:
+   the fused engine must stop at the identical retirement count (it
+   falls back to per-instruction execution when the remaining fuel does
+   not cover the block). *)
+let test_fuel_exhaustion () =
+  let image =
+    assemble (fun b ->
+        for _ = 1 to 10 do
+          Buf.emit b add
+        done;
+        Buf.emit b (Insn.Mv (Reg.v0, Reg.t2));
+        Buf.emit b Insn.Halt)
+  in
+  let r = check_three "fuel-mid-block" ~fuel:5 image in
+  expect_outcome "fuel-mid-block" "out-of-fuel" r;
+  Alcotest.(check int) "fuel-mid-block: five retirements" 5
+    (Stats.executed_insns (snd r));
+  (* one fuel step past the block's end: the halt still fires *)
+  expect_outcome "fuel-after-block" "halted 10"
+    (check_three "fuel-after-block" ~fuel:12 image)
+
+(* A checked load whose address operand carries the wrong tag aborts the
+   block after its executed prefix; the pre-summed statistics of the
+   unexecuted suffix must be unwound (the load's own issue cycle
+   stands — the reference charges before it traps). *)
+let test_checked_load_trap () =
+  let pair_tag = scheme.Scheme.tag Scheme.Pair in
+  let image =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, Scheme.encode_int scheme 7));
+        Buf.emit b (Insn.Li (Reg.t2, 0));
+        Buf.emit b (Insn.Alui (Insn.Add, Reg.t2, Reg.t2, 5));
+        Buf.emit b (Insn.Ld (Insn.Checked pair_tag, Reg.t1, Reg.t0, 0));
+        Buf.emit b (Insn.Alui (Insn.Add, Reg.t2, Reg.t2, 100));
+        Buf.emit b (Insn.Mv (Reg.v0, Reg.t2));
+        Buf.emit b Insn.Halt)
+  in
+  let r = check_three "checked-load-trap" image in
+  expect_outcome "checked-load-trap"
+    (Printf.sprintf "aborted %d" Machine.err_type)
+    r;
+  Alcotest.(check int) "checked-load-trap: four retirements" 4
+    (Stats.executed_insns (snd r))
+
+(* Division by zero mid-block: the divide retires (it is counted) but
+   its cycles are never charged, and the block suffix is unwound. *)
+let test_div_zero () =
+  let image =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, 10));
+        Buf.emit b (Insn.Li (Reg.t1, 0));
+        Buf.emit b (Insn.Alu (Insn.Div, Reg.t2, Reg.t0, Reg.t1));
+        Buf.emit b add;
+        Buf.emit b Insn.Halt)
+  in
+  let r = check_three "div-zero" image in
+  expect_outcome "div-zero" (Printf.sprintf "aborted %d" Machine.err_div0) r;
+  Alcotest.(check int) "div-zero: three retirements" 3
+    (Stats.executed_insns (snd r))
+
+(* Load-use interlocks: resolved statically between adjacent in-block
+   instructions, probed dynamically at a block boundary (here the load
+   sits in the second delay slot, so the interlock lands on the first
+   instruction of the jump's target block). *)
+let test_interlocks () =
+  let in_block =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, 256));
+        Buf.emit b (Insn.Li (Reg.t1, 7));
+        Buf.emit b (Insn.St (Insn.Plain, Reg.t0, Reg.t1, 0));
+        Buf.emit b (Insn.Ld (Insn.Plain, Reg.t2, Reg.t0, 0));
+        Buf.emit b (Insn.Alu (Insn.Add, Reg.v0, Reg.t2, Reg.t2));
+        Buf.emit b Insn.Halt)
+  in
+  let r = check_three "interlock-in-block" in_block in
+  expect_outcome "interlock-in-block" "halted 14" r;
+  Alcotest.(check int) "interlock-in-block: one interlock" 1
+    (snd r).Stats.interlocks;
+  (* A code label is a block leader, so it splits the straight line
+     between the load and its use: the interlock crosses the block
+     boundary and must be caught by the fused engine's dynamic
+     block-entry probe. *)
+  let across_blocks =
+    assemble (fun b ->
+        Buf.emit b (Insn.Li (Reg.t0, 256));
+        Buf.emit b (Insn.Li (Reg.t1, 9));
+        Buf.emit b (Insn.St (Insn.Plain, Reg.t0, Reg.t1, 0));
+        Buf.emit b (Insn.Ld (Insn.Plain, Reg.t2, Reg.t0, 0));
+        Buf.label b "l";
+        Buf.emit b (Insn.Alu (Insn.Add, Reg.v0, Reg.t2, Reg.t2));
+        Buf.emit b Insn.Halt)
+  in
+  let r = check_three "interlock-across-blocks" across_blocks in
+  expect_outcome "interlock-across-blocks" "halted 18" r;
+  Alcotest.(check int) "interlock-across-blocks: one interlock" 1
+    (snd r).Stats.interlocks
+
+(* Attaching an engine twice must not recompile: the closure and block
+   arrays stay physically the same (the structural [= [||]] staleness
+   test recompiled empty-code machines forever). *)
+let test_attach_idempotent () =
+  let image = assemble (fun b -> Buf.emit b Insn.Halt) in
+  let m = Machine.create ~engine:`Fused ~hw image in
+  Fuse.attach m;
+  let exec = m.Machine.exec and blocks = m.Machine.blocks in
+  Fuse.attach m;
+  Predecode.attach m;
+  Alcotest.(check bool) "exec array reused" true (exec == m.Machine.exec);
+  Alcotest.(check bool) "block array reused" true (blocks == m.Machine.blocks)
 
 (* The memoised matrix driver must return the same measurements, in the
    same order, for any worker count. *)
@@ -101,5 +343,16 @@ let suite =
         (fun (e : B.entry) ->
           Alcotest.test_case e.B.name `Slow (test_engines_agree e))
         (B.all ())
-      @ [ Alcotest.test_case "pool-jobs" `Quick test_pool_jobs_agree ] );
+      @ [
+          Alcotest.test_case "garith-rett" `Quick test_garith_rett;
+          Alcotest.test_case "squash-branch" `Quick test_squash_branch;
+          Alcotest.test_case "fuel-exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "checked-load-trap" `Quick
+            test_checked_load_trap;
+          Alcotest.test_case "div-zero" `Quick test_div_zero;
+          Alcotest.test_case "interlocks" `Quick test_interlocks;
+          Alcotest.test_case "attach-idempotent" `Quick
+            test_attach_idempotent;
+          Alcotest.test_case "pool-jobs" `Quick test_pool_jobs_agree;
+        ] );
   ]
