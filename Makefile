@@ -1,6 +1,6 @@
 # Convenience targets; the build itself is plain dune.
 
-.PHONY: all build test check bench experiments clean
+.PHONY: all build test check bench experiments results clean
 
 all: build
 
@@ -21,6 +21,12 @@ bench: build
 
 experiments: build
 	dune exec bin/tagsim_cli.exe -- experiments --jobs 0
+
+# Refresh the committed machine-readable reproduction (one planner
+# fan-out over every artifact).  CI regenerates it and fails on drift;
+# run this and commit the result when a cost-model change is intended.
+results: build
+	dune exec bin/tagsim_cli.exe -- experiments --jobs 0 --json RESULTS.json > /dev/null
 
 clean:
 	dune clean

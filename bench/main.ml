@@ -19,16 +19,15 @@ let print_all () =
   Fmt.pr "Reproduction: Steenkiste & Hennessy, \"Tags and Type Checking in@.";
   Fmt.pr "LISP: Hardware and Software Approaches\" (ASPLOS 1987)@.";
   Fmt.pr "================================================================@.@.";
-  Fmt.pr "%a@." Tagsim.Analysis.Table1.pp (Tagsim.Analysis.Table1.measure ());
-  Fmt.pr "%a@." Tagsim.Analysis.Figure1.pp
-    (Tagsim.Analysis.Figure1.measure ());
-  Fmt.pr "%a@." Tagsim.Analysis.Figure2.pp
-    (Tagsim.Analysis.Figure2.measure ());
-  Fmt.pr "%a@." Tagsim.Analysis.Table2.pp (Tagsim.Analysis.Table2.measure ());
-  Fmt.pr "%a@." Tagsim.Analysis.Table3.pp (Tagsim.Analysis.Table3.measure ());
-  Fmt.pr "%a@." Tagsim.Analysis.Garith.pp (Tagsim.Analysis.Garith.measure ());
-  Fmt.pr "@.%a@." Tagsim.Analysis.Ablations.pp
-    (Tagsim.Analysis.Ablations.measure ())
+  (* One planner execution: the union of every artifact's matrix,
+     deduplicated and fanned out once over the pool. *)
+  let module Spec = Tagsim.Analysis.Spec in
+  let module Planner = Tagsim.Analysis.Planner in
+  List.iter
+    (fun r ->
+      if r.Spec.r_name = "ablations" then Fmt.pr "@.%s@." r.Spec.r_text
+      else Fmt.pr "%s@." r.Spec.r_text)
+    (Planner.plan Planner.artifacts)
 
 (* --- Phase 2: Bechamel kernels. --- *)
 

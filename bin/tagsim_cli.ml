@@ -30,17 +30,9 @@ let checking =
 
 let config =
   let parse s =
-    match s with
-    | "software" -> Ok Tagsim.Support.software
-    | "row1" -> Ok Tagsim.Support.row1_hw
-    | "row2" -> Ok Tagsim.Support.row2
-    | "row3" -> Ok Tagsim.Support.row3
-    | "row4" -> Ok Tagsim.Support.row4
-    | "row5" -> Ok Tagsim.Support.row5
-    | "row6" -> Ok Tagsim.Support.row6
-    | "row7" -> Ok Tagsim.Support.row7
-    | "spur" -> Ok Tagsim.Support.spur
-    | other -> Error (`Msg ("unknown hardware configuration: " ^ other))
+    match Tagsim.Support.by_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg ("unknown hardware configuration: " ^ s))
   in
   let print ppf s = Fmt.string ppf (Tagsim.Support.describe s) in
   Arg.(
@@ -89,10 +81,6 @@ let jobs =
         ~doc:
           "Worker domains for the experiment matrix; 0 means the \
            recommended domain count of this machine.")
-
-let set_parallelism jobs engine =
-  Tagsim.Analysis.Pool.set_default_jobs jobs;
-  Tagsim.Analysis.Run.engine := engine
 
 let support_of checking config =
   if checking then Tagsim.Support.with_checking config else config
@@ -240,30 +228,26 @@ let profile_cmd =
 (* --- experiments --- *)
 
 let experiments_cmd =
-  let run only jobs engine =
-    set_parallelism jobs engine;
+  let module Spec = Tagsim.Analysis.Spec in
+  let module Planner = Tagsim.Analysis.Planner in
+  let run only jobs engine json csv =
+    Tagsim.Analysis.Pool.set_default_jobs jobs;
     let want name = only = [] || List.mem name only in
-    if want "table1" then
-      Fmt.pr "%a@." Tagsim.Analysis.Table1.pp
-        (Tagsim.Analysis.Table1.measure ());
-    if want "figure1" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Figure1.pp
-        (Tagsim.Analysis.Figure1.measure ());
-    if want "figure2" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Figure2.pp
-        (Tagsim.Analysis.Figure2.measure ());
-    if want "table2" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Table2.pp
-        (Tagsim.Analysis.Table2.measure ());
-    if want "table3" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Table3.pp
-        (Tagsim.Analysis.Table3.measure ());
-    if want "garith" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Garith.pp
-        (Tagsim.Analysis.Garith.measure ());
-    if want "ablations" then
-      Fmt.pr "@.%a@." Tagsim.Analysis.Ablations.pp
-        (Tagsim.Analysis.Ablations.measure ())
+    (* One global plan: the union of the requested artifacts' matrices,
+       deduplicated and fanned out once over the pool. *)
+    let requested =
+      List.filter (fun a -> want a.Spec.a_name) Planner.artifacts
+    in
+    let rendered = Planner.plan ~engine requested in
+    List.iter
+      (fun r ->
+        (* table1 opens the report; everything else is preceded by a
+           blank line (the historical output format, byte for byte). *)
+        if r.Spec.r_name = "table1" then Fmt.pr "%s@." r.Spec.r_text
+        else Fmt.pr "@.%s@." r.Spec.r_text)
+      rendered;
+    Option.iter (fun path -> Planner.write_json path rendered) json;
+    Option.iter (fun path -> Planner.write_csv path rendered) csv
   in
   let only =
     Arg.(
@@ -274,10 +258,26 @@ let experiments_cmd =
             "Comma-separated subset of table1, figure1, figure2, table2, \
              table3, garith, ablations.")
   in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the rendered artifacts as structured JSON to \
+             $(docv) (the format of the committed RESULTS.json).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also write the rendered artifacts as CSV sections to $(docv).")
+  in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ only $ jobs $ engine_arg)
+    Term.(const run $ only $ jobs $ engine_arg $ json $ csv)
 
 let () =
   let doc =

@@ -4,7 +4,6 @@
     filled; these numbers show how much each scheduler feature
     contributes. *)
 
-module Stats = Tagsim_sim.Stats
 module Sched = Tagsim_asm.Sched
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
@@ -16,15 +15,7 @@ type t = {
   full : int; (* + squashing likely branches *)
 }
 
-let suite_cycles sched =
-  List.fold_left
-    (fun acc entry ->
-      let m =
-        Run.run ~sched ~scheme:Scheme.high5
-          ~support:(Support.with_checking Support.software) entry
-      in
-      acc + Stats.total m.Run.stats)
-    0 (Run.all_entries ())
+let chk = Support.with_checking Support.software
 
 let sched_variants =
   [
@@ -34,18 +25,19 @@ let sched_variants =
     Sched.default;
   ]
 
-let measure () =
-  ignore
-    (Run.run_many
-       (List.concat_map
-          (fun sched ->
-            List.map
-              (fun entry ->
-                Run.config ~sched ~scheme:Scheme.high5
-                  ~support:(Support.with_checking Support.software)
-                  entry)
-              (Run.all_entries ()))
-          sched_variants));
+let configs_of entries =
+  List.concat_map
+    (fun sched ->
+      List.map
+        (fun entry ->
+          Run.config ~sched ~scheme:Scheme.high5 ~support:chk entry)
+        entries)
+    sched_variants
+
+let render_of entries (lookup : Spec.lookup) =
+  let suite_cycles sched =
+    Spec.suite_cycles ~sched ~entries lookup ~scheme:Scheme.high5 ~support:chk
+  in
   {
     none = suite_cycles Sched.off;
     hoist_only =
@@ -64,3 +56,52 @@ let pp ppf t =
   Fmt.pf ppf "  hoisting only                 %6.2f%%@\n" (pct t.hoist_only);
   Fmt.pf ppf "  + fall-through filling        %6.2f%%@\n" (pct t.hoist_fill);
   Fmt.pf ppf "  + squashing likely branches   %6.2f%%@\n" (pct t.full)
+
+(* --- sinks --- *)
+
+let fields t =
+  [
+    ("none", t.none);
+    ("hoist_only", t.hoist_only);
+    ("hoist_fill", t.hoist_fill);
+    ("full", t.full);
+  ]
+
+let json_of t =
+  Spec.J_obj
+    [
+      ( "suite_cycles",
+        Spec.J_obj (List.map (fun (k, v) -> (k, Spec.J_int v)) (fields t)) );
+    ]
+
+let tables_of t =
+  [
+    {
+      Spec.t_name = "ablations";
+      columns = [ "scheduler"; "suite_cycles" ];
+      rows = List.map (fun (k, v) -> [ k; string_of_int v ]) (fields t);
+    };
+  ]
+
+let title = "delay-slot scheduler ablation (suite cycles)"
+
+let to_rendered t =
+  {
+    Spec.r_name = "ablations";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "ablations";
+    a_title = title;
+    a_configs = configs_of;
+    a_render = (fun entries lookup -> to_rendered (render_of entries lookup));
+  }
+
+let measure () =
+  let entries = Run.all_entries () in
+  render_of entries (Spec.lookup_of (configs_of entries))

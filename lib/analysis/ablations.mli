@@ -8,5 +8,11 @@ type t = {
   full : int; (* + squashing likely branches *)
 }
 
+(** The declarative form: matrix + pure render (see {!Spec}). *)
+val artifact : Spec.artifact
+
+(** Convenience: plan and render just this artifact over the full
+    suite. *)
 val measure : unit -> t
+
 val pp : Format.formatter -> t -> unit

@@ -24,24 +24,25 @@ type t = {
   total_with : float list;
 }
 
-let measure ?(scheme = Scheme.high5) () =
-  let base_support = Support.software in
-  let chk_support = Support.with_checking Support.software in
-  ignore
-    (Run.run_many
-       (List.concat_map
-          (fun entry ->
-            [
-              Run.config ~scheme ~support:base_support entry;
-              Run.config ~scheme ~support:chk_support entry;
-            ])
-          (Run.all_entries ())));
+let base_support = Support.software
+let chk_support = Support.with_checking Support.software
+
+let configs_for scheme entries =
+  List.concat_map
+    (fun entry ->
+      [
+        Run.config ~scheme ~support:base_support entry;
+        Run.config ~scheme ~support:chk_support entry;
+      ])
+    entries
+
+let render_for scheme entries (lookup : Spec.lookup) =
   let pairs =
     List.map
       (fun entry ->
-        ( Run.run ~scheme ~support:base_support entry,
-          Run.run ~scheme ~support:chk_support entry ))
-      (Run.all_entries ())
+        ( lookup (Run.config ~scheme ~support:base_support entry),
+          lookup (Run.config ~scheme ~support:chk_support entry) ))
+      entries
   in
   let bar_of metric =
     let without =
@@ -109,3 +110,79 @@ let pp ppf t =
      (paper: 22%% sd 5.6 ... 32%% sd 7.5)@\n"
     (Run.mean t.total_without) (Run.stddev t.total_without)
     (Run.mean t.total_with) (Run.stddev t.total_with)
+
+(* --- sinks --- *)
+
+let operations t =
+  [
+    ("insertion", t.insertion);
+    ("removal", t.removal);
+    ("extraction", t.extraction);
+    ("checking", t.checking);
+  ]
+
+let json_of t =
+  let bar (name, b) =
+    ( name,
+      Spec.J_obj
+        [
+          ("without", Spec.J_float b.without);
+          ("added", Spec.J_float b.added);
+          ("with", Spec.J_float b.with_);
+        ] )
+  in
+  Spec.J_obj
+    [
+      ("operations", Spec.J_obj (List.map bar (operations t)));
+      ( "total_tag_handling",
+        Spec.J_obj
+          [
+            ("mean_without", Spec.J_float (Run.mean t.total_without));
+            ("sd_without", Spec.J_float (Run.stddev t.total_without));
+            ("mean_with", Spec.J_float (Run.mean t.total_with));
+            ("sd_with", Spec.J_float (Run.stddev t.total_with));
+            ( "per_program_without",
+              Spec.J_list (List.map (fun f -> Spec.J_float f) t.total_without)
+            );
+            ( "per_program_with",
+              Spec.J_list (List.map (fun f -> Spec.J_float f) t.total_with) );
+          ] );
+    ]
+
+let tables_of t =
+  [
+    {
+      Spec.t_name = "figure1.bars";
+      columns = [ "operation"; "without"; "added"; "with" ];
+      rows =
+        List.map
+          (fun (name, b) ->
+            [ name; Spec.cell b.without; Spec.cell b.added; Spec.cell b.with_ ])
+          (operations t);
+    };
+  ]
+
+let title = "% of time on tag handling operations"
+
+let to_rendered t =
+  {
+    Spec.r_name = "figure1";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "figure1";
+    a_title = title;
+    a_configs = configs_for Scheme.high5;
+    a_render =
+      (fun entries lookup ->
+        to_rendered (render_for Scheme.high5 entries lookup));
+  }
+
+let measure ?(scheme = Scheme.high5) () =
+  let entries = Run.all_entries () in
+  render_for scheme entries (Spec.lookup_of (configs_for scheme entries))

@@ -18,23 +18,24 @@ type t = {
   cycle_speedup : float; (* the 5.7% headline of Section 5.1 *)
 }
 
-let measure ?(scheme = Scheme.high5) () =
-  let base_support = Support.software in
-  let ti_support = Support.row1_hw in
-  ignore
-    (Run.run_many
-       (List.concat_map
-          (fun entry ->
-            [
-              Run.config ~scheme ~support:base_support entry;
-              Run.config ~scheme ~support:ti_support entry;
-            ])
-          (Run.all_entries ())));
+let base_support = Support.software
+let ti_support = Support.row1_hw
+
+let configs_for scheme entries =
+  List.concat_map
+    (fun entry ->
+      [
+        Run.config ~scheme ~support:base_support entry;
+        Run.config ~scheme ~support:ti_support entry;
+      ])
+    entries
+
+let render_for scheme entries (lookup : Spec.lookup) =
   let deltas =
     List.map
       (fun entry ->
-        let b = Run.run ~scheme ~support:base_support entry in
-        let t = Run.run ~scheme ~support:ti_support entry in
+        let b = lookup (Run.config ~scheme ~support:base_support entry) in
+        let t = lookup (Run.config ~scheme ~support:ti_support entry) in
         let bi = Stats.executed_insns b.Run.stats in
         let kl k =
           Run.pct
@@ -55,7 +56,7 @@ let measure ?(scheme = Scheme.high5) () =
             (Stats.total b.Run.stats)
         in
         (kl Insn.K_and, kl Insn.K_move, kl Insn.K_nop, squash, total, speedup))
-      (Run.all_entries ())
+      entries
   in
   let avg f = Run.mean (List.map f deltas) in
   {
@@ -78,3 +79,52 @@ let pp ppf t =
   Fmt.pf ppf "  squash %+6.2f   (paper: ~ -0.5)@\n" t.squash;
   Fmt.pf ppf "  total  %+6.2f   (paper: ~ +6)@\n" t.total;
   Fmt.pf ppf "  cycle speedup: %.2f%%   (paper: 5.7%%)@\n" t.cycle_speedup
+
+(* --- sinks --- *)
+
+let fields t =
+  [
+    ("and", t.and_);
+    ("move", t.move);
+    ("noop", t.noop);
+    ("squash", t.squash);
+    ("total", t.total);
+    ("cycle_speedup", t.cycle_speedup);
+  ]
+
+let json_of t =
+  Spec.J_obj (List.map (fun (k, v) -> (k, Spec.J_float v)) (fields t))
+
+let tables_of t =
+  [
+    {
+      Spec.t_name = "figure2";
+      columns = [ "metric"; "value" ];
+      rows = List.map (fun (k, v) -> [ k; Spec.cell v ]) (fields t);
+    };
+  ]
+
+let title = "instruction-frequency change when tag masking is eliminated"
+
+let to_rendered t =
+  {
+    Spec.r_name = "figure2";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "figure2";
+    a_title = title;
+    a_configs = configs_for Scheme.high5;
+    a_render =
+      (fun entries lookup ->
+        to_rendered (render_for Scheme.high5 entries lookup));
+  }
+
+let measure ?(scheme = Scheme.high5) () =
+  let entries = Run.all_entries () in
+  render_for scheme entries (Spec.lookup_of (configs_for scheme entries))

@@ -11,5 +11,11 @@ type t = {
   cycle_speedup : float; (* Section 5.1's 5.7% headline *)
 }
 
+(** The declarative form: matrix + pure render (see {!Spec}). *)
+val artifact : Spec.artifact
+
+(** Convenience: plan and render just this artifact over the full
+    suite. *)
 val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+
 val pp : Format.formatter -> t -> unit

@@ -19,5 +19,11 @@ type t = {
   row1_hw_speedup : float;
 }
 
+(** The declarative form: matrix + pure render (see {!Spec}). *)
+val artifact : Spec.artifact
+
+(** Convenience: plan and render just this artifact over the full
+    suite. *)
 val measure : unit -> t
+
 val pp : Format.formatter -> t -> unit

@@ -2,8 +2,8 @@
     its result, and hand back the statistics.  Runs are memoised — the
     experiments share many configurations — behind a mutex, so that
     {!run_many} can fan a configuration matrix out across the worker
-    domains of {!Pool} while the analysis modules keep their serial
-    aggregation code (which then hits the warmed cache). *)
+    domains of {!Pool} while renderers look measurements up from the
+    warmed store. *)
 
 module Stats = Tagsim_sim.Stats
 module Machine = Tagsim_sim.Machine
@@ -26,18 +26,18 @@ type measurement = {
   meta : Program.meta;
 }
 
-(** A point of the experiment matrix, as submitted to {!run_many}. *)
+(* A point of the experiment matrix.  The engine is an explicit field
+   (not a global): concurrent planners with different engines cannot
+   race each other.  All engines produce bit-identical statistics (the
+   engine suite enforces it), so [c_engine] only selects the speed of
+   reproduction and is excluded from {!matrix_key}. *)
 type config = {
   c_sched : Sched.config;
   c_scheme : Scheme.t;
   c_support : Support.t;
   c_entry : Registry.entry;
+  c_engine : Machine.engine;
 }
-
-(** Simulator engine used for measurements.  All engines are
-    bit-identical in their statistics (the engine suite enforces it), so
-    this only selects the speed of reproduction. *)
-let engine : Machine.engine ref = ref `Fused
 
 let cache : (string, measurement) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
@@ -45,39 +45,57 @@ let cache_mutex = Mutex.create ()
 let clear_cache () =
   Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
+(* Count of actual simulations performed (memo-cache misses), for tests
+   that assert the planner simulates each distinct configuration exactly
+   once.  Under concurrent workers a configuration may be simulated
+   twice (the computation is deliberately outside the cache lock), so
+   exact-count tests must use [jobs:1]. *)
+let simulation_count = Atomic.make 0
+let simulations () = Atomic.get simulation_count
+let reset_simulations () = Atomic.set simulation_count 0
+
 let sched_key (s : Sched.config) =
   Printf.sprintf "%b%b%b" s.Sched.hoist s.Sched.fill_unlikely
     s.Sched.squash_likely
 
-let key entry scheme support sched =
+(* Engine-agnostic identity of a configuration: what the measurement
+   means, not how fast it was obtained. *)
+let matrix_key c =
   String.concat "/"
     [
-      (match !engine with
-      | `Reference -> "ref"
-      | `Predecoded -> "pre"
-      | `Fused -> "fus");
-      entry.Registry.name;
-      scheme.Scheme.name;
-      Support.describe support;
-      sched_key sched;
+      c.c_entry.Registry.name;
+      c.c_scheme.Scheme.name;
+      Support.describe c.c_support;
+      sched_key c.c_sched;
     ]
+
+(* Memo key: engine-qualified, so engine-differential tests can hold
+   measurements from several engines at once. *)
+let config_key c =
+  (match c.c_engine with
+  | `Reference -> "ref"
+  | `Predecoded -> "pre"
+  | `Fused -> "fus")
+  ^ "/" ^ matrix_key c
 
 (* The computation is deliberately outside the cache lock: concurrent
    workers may duplicate a measurement (it is deterministic, so the
    last [replace] wins harmlessly), but they never serialise on the
    simulator.  [run_many] de-duplicates its matrix up front, so in
    practice each configuration is simulated once. *)
-let run ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
-  let k = key entry scheme support sched in
+let run_config c =
+  let k = config_key c in
   let cached = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k) in
   match cached with
   | Some m -> m
   | None ->
+      Atomic.incr simulation_count;
+      let entry = c.c_entry and scheme = c.c_scheme and support = c.c_support in
       let program =
-        Program.compile ~sched ~sizes:entry.Registry.sizes ~scheme ~support
-          entry.Registry.source
+        Program.compile ~sched:c.c_sched ~sizes:entry.Registry.sizes ~scheme
+          ~support entry.Registry.source
       in
-      let result = Program.run ~engine:!engine program in
+      let result = Program.run ~engine:c.c_engine program in
       (match result.Program.abort with
       | Some msg ->
           raise
@@ -106,17 +124,25 @@ let run ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
       Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k m);
       m
 
-let run_config c =
-  run ~sched:c.c_sched ~scheme:c.c_scheme ~support:c.c_support c.c_entry
+let config ?(sched = Sched.default) ?(engine = `Fused) ~scheme ~support entry =
+  {
+    c_sched = sched;
+    c_scheme = scheme;
+    c_support = support;
+    c_entry = entry;
+    c_engine = engine;
+  }
+
+let run ?sched ?engine ~scheme ~support (entry : Registry.entry) =
+  run_config (config ?sched ?engine ~scheme ~support entry)
 
 (** Fan a configuration matrix out across the pool's worker domains and
     return the measurements in input order.  Duplicated configurations
     are simulated once: the pool maps over the distinct configurations
     and the results are collected through a keyed map, with no second
-    simulation pass (the memo cache still gets warmed for later serial
+    simulation pass (the memo cache still gets warmed for later
     callers). *)
 let run_many ?jobs (configs : config list) =
-  let config_key c = key c.c_entry c.c_scheme c.c_support c.c_sched in
   let seen = Hashtbl.create 64 in
   let distinct =
     List.filter
@@ -135,9 +161,6 @@ let run_many ?jobs (configs : config list) =
     (fun c m -> Hashtbl.replace by_key (config_key c) m)
     distinct measured;
   List.map (fun c -> Hashtbl.find by_key (config_key c)) configs
-
-let config ?(sched = Sched.default) ~scheme ~support entry =
-  { c_sched = sched; c_scheme = scheme; c_support = support; c_entry = entry }
 
 let all_entries () = Registry.all ()
 

@@ -24,34 +24,54 @@ type measurement = {
   meta : Program.meta;
 }
 
-(** A point of the experiment matrix, as submitted to {!run_many}. *)
+(** A point of the experiment matrix, as submitted to {!run_many}.  The
+    simulator engine is an explicit field (no global state); all engines
+    produce bit-identical statistics, so it only selects the speed of
+    reproduction. *)
 type config = {
   c_sched : Sched.config;
   c_scheme : Scheme.t;
   c_support : Support.t;
   c_entry : Registry.entry;
+  c_engine : Machine.engine;
 }
-
-(** Simulator engine used for measurements (default [`Predecoded]); both
-    engines produce bit-identical statistics. *)
-val engine : Machine.engine ref
 
 (** Empty the memo cache (tests). *)
 val clear_cache : unit -> unit
 
+(** Number of actual simulations performed since start (or the last
+    {!reset_simulations}): memo-cache misses only.  Exact only for
+    serial fan-outs ([jobs:1]) — concurrent workers may duplicate a
+    computation. *)
+val simulations : unit -> int
+
+val reset_simulations : unit -> unit
+
+(** Engine-agnostic identity of a configuration (entry, scheme, support,
+    scheduler): the key of the planner's measurement store. *)
+val matrix_key : config -> string
+
+(** Engine-qualified memo key. *)
+val config_key : config -> string
+
 val run :
   ?sched:Sched.config ->
+  ?engine:Machine.engine ->
   scheme:Scheme.t ->
   support:Support.t ->
   Registry.entry ->
   measurement
 
+(** Build a configuration; [engine] defaults to [`Fused]. *)
 val config :
   ?sched:Sched.config ->
+  ?engine:Machine.engine ->
   scheme:Scheme.t ->
   support:Support.t ->
   Registry.entry ->
   config
+
+val run_config : config -> measurement
 
 (** Run a configuration matrix on the pool's worker domains ([jobs]
     defaults to {!Pool.default_jobs}) and return the measurements in

@@ -1,0 +1,197 @@
+(** The declarative experiment-plan layer.
+
+    Every artifact of the reproduction (a table, a figure, an ablation
+    study) is a value of {!type:artifact}: it declares (a) its
+    configuration matrix as plain data and (b) a pure [render] reduction
+    from a measurement store to a {!rendered} result.  Nothing in an
+    artifact runs the simulator — the {!Planner} unions the matrices of
+    the requested artifacts, fans the union out once over the
+    {!Pool} worker domains, and renders every artifact from the shared
+    store.
+
+    The {!rendered} form carries every sink at once: the paper-layout
+    text, a structured {!json} value and CSV {!table}s, so one plan
+    execution can feed the terminal, [RESULTS.json] and CSV exports. *)
+
+module Stats = Tagsim_sim.Stats
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Sched = Tagsim_asm.Sched
+module Registry = Tagsim_programs.Registry
+
+(** {1 Structured sink values} *)
+
+(* A minimal JSON tree: the repository deliberately has no JSON
+   dependency, and the emitter below is all the experiments need. *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+(* Fixed four-decimal float formatting: all our floats are percentages
+   or small ratios, and a fixed format keeps RESULTS.json diffs
+   meaningful (a drifted number changes visibly, nothing else does). *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.4f" f
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Two-space-indented emitter, deterministic field order (the order of
+   the [J_obj] lists), so the committed RESULTS.json diffs line by
+   line. *)
+let json_to_string (j : json) =
+  let b = Buffer.create 4096 in
+  let pad n = Buffer.add_string b (String.make (2 * n) ' ') in
+  let rec go depth = function
+    | J_null -> Buffer.add_string b "null"
+    | J_bool x -> Buffer.add_string b (string_of_bool x)
+    | J_int i -> Buffer.add_string b (string_of_int i)
+    | J_float f -> Buffer.add_string b (json_float f)
+    | J_string s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape_string s);
+        Buffer.add_char b '"'
+    | J_list [] -> Buffer.add_string b "[]"
+    | J_list items ->
+        Buffer.add_string b "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char b '\n';
+        pad depth;
+        Buffer.add_char b ']'
+    | J_obj [] -> Buffer.add_string b "{}"
+    | J_obj fields ->
+        Buffer.add_string b "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",\n";
+            pad (depth + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape_string k);
+            Buffer.add_string b "\": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char b '\n';
+        pad depth;
+        Buffer.add_char b '}'
+  in
+  go 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(** A CSV section: one flat table of an artifact (an artifact may emit
+    several, e.g. per-program rows and a summary). *)
+type table = {
+  t_name : string; (* e.g. "table2.rows" *)
+  columns : string list;
+  rows : string list list;
+}
+
+let cell f = json_float f
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let table_to_csv t =
+  let line fields = String.concat "," (List.map csv_field fields) ^ "\n" in
+  "# " ^ t.t_name ^ "\n" ^ line t.columns
+  ^ String.concat "" (List.map line t.rows)
+
+(** {1 Artifacts} *)
+
+(** The measurement store handed to [render]: engine-agnostic lookup of
+    a declared configuration.  Raises [Invalid_argument] for a
+    configuration the artifact did not declare in its matrix — renders
+    cannot sneak in extra simulations. *)
+type lookup = Run.config -> Run.measurement
+
+(** All sinks of one artifact, rendered from the shared store. *)
+type rendered = {
+  r_name : string;
+  r_title : string;
+  r_text : string; (* the paper-layout text, exactly as [pp] printed it *)
+  r_json : json;
+  r_tables : table list;
+}
+
+(** One artifact of the reproduction, declaratively: its configuration
+    matrix as data, and a pure reduction from the measurement store.
+    Both take the benchmark-entry list so reduced-size plans (tests,
+    golden numbers) stay consistent between matrix and render. *)
+type artifact = {
+  a_name : string;
+  a_title : string;
+  a_configs : Registry.entry list -> Run.config list;
+  a_render : Registry.entry list -> lookup -> rendered;
+}
+
+(** Build a store over a (not yet deduplicated) configuration list:
+    fan it out across the pool ({!Run.run_many} dedups), key the results
+    engine-agnostically, and return the lookup function.  [engine]
+    rewrites every configuration's engine before running. *)
+let lookup_of ?jobs ?engine (configs : Run.config list) : lookup =
+  let configs =
+    match engine with
+    | None -> configs
+    | Some e -> List.map (fun c -> { c with Run.c_engine = e }) configs
+  in
+  let measured = Run.run_many ?jobs configs in
+  let store = Hashtbl.create (2 * List.length configs) in
+  List.iter2
+    (fun c m -> Hashtbl.replace store (Run.matrix_key c) m)
+    configs measured;
+  fun c ->
+    match Hashtbl.find_opt store (Run.matrix_key c) with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          ("Spec.lookup: configuration not declared in the plan: "
+         ^ Run.matrix_key c)
+
+(** {1 Shared reductions}
+
+    The suite-aggregate folds previously duplicated across [table2.ml],
+    [garith.ml] and [ablations.ml], now over the store. *)
+
+(** Sum [metric] of the statistics over the whole suite under one
+    configuration. *)
+let suite_metric ?sched ~entries (lookup : lookup) ~scheme ~support metric =
+  List.fold_left
+    (fun acc entry ->
+      let m = lookup (Run.config ?sched ~scheme ~support entry) in
+      acc + metric m.Run.stats)
+    0 entries
+
+(** Total suite cycles under one configuration. *)
+let suite_cycles ?sched ~entries lookup ~scheme ~support =
+  suite_metric ?sched ~entries lookup ~scheme ~support Stats.total
+
+(** Render the text sink of a classic [pp] into a string (byte-identical
+    to printing it: the pretty-printers use forced newlines only). *)
+let text_of pp v = Fmt.str "%a" pp v

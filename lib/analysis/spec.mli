@@ -1,0 +1,98 @@
+(** The declarative experiment-plan layer: artifacts declare their
+    configuration matrix as data and a pure [render] reduction over a
+    shared measurement store; the {!Planner} executes any set of them
+    from one global deduplicated fan-out.  The {!rendered} form carries
+    every sink at once (paper-layout text, JSON, CSV tables). *)
+
+module Stats := Tagsim_sim.Stats
+module Scheme := Tagsim_tags.Scheme
+module Support := Tagsim_tags.Support
+module Sched := Tagsim_asm.Sched
+module Registry := Tagsim_programs.Registry
+module Machine := Tagsim_sim.Machine
+
+(** {1 Structured sink values} *)
+
+(** A minimal JSON tree (the repository has no JSON dependency). *)
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+(** Serialise with two-space indentation and deterministic field order;
+    floats print with four decimals so RESULTS.json diffs stay
+    meaningful.  The result ends in a newline. *)
+val json_to_string : json -> string
+
+(** A CSV section: one flat table of an artifact. *)
+type table = {
+  t_name : string;
+  columns : string list;
+  rows : string list list;
+}
+
+(** Format a float for a CSV cell (same fixed format as JSON floats). *)
+val cell : float -> string
+
+val table_to_csv : table -> string
+
+(** {1 Artifacts} *)
+
+(** Engine-agnostic lookup of a declared configuration in the shared
+    measurement store.  Raises [Invalid_argument] for a configuration
+    outside the declared matrix. *)
+type lookup = Run.config -> Run.measurement
+
+type rendered = {
+  r_name : string;
+  r_title : string;
+  r_text : string; (* the paper-layout text, exactly as [pp] printed it *)
+  r_json : json;
+  r_tables : table list;
+}
+
+(** One artifact of the reproduction: its configuration matrix as data
+    and a pure reduction from the store, both parameterised by the
+    benchmark-entry list (so reduced-size plans stay consistent). *)
+type artifact = {
+  a_name : string;
+  a_title : string;
+  a_configs : Registry.entry list -> Run.config list;
+  a_render : Registry.entry list -> lookup -> rendered;
+}
+
+(** Fan a configuration list out across the pool (deduplicated by
+    {!Run.run_many}) and return the store's lookup function.  [engine]
+    rewrites every configuration's engine before running. *)
+val lookup_of :
+  ?jobs:int -> ?engine:Machine.engine -> Run.config list -> lookup
+
+(** {1 Shared reductions} *)
+
+(** Sum a statistics metric over the whole suite under one
+    configuration. *)
+val suite_metric :
+  ?sched:Sched.config ->
+  entries:Registry.entry list ->
+  lookup ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  (Stats.t -> int) ->
+  int
+
+(** Total suite cycles under one configuration. *)
+val suite_cycles :
+  ?sched:Sched.config ->
+  entries:Registry.entry list ->
+  lookup ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  int
+
+(** Render a classic [pp] into the text sink (byte-identical to printing
+    it). *)
+val text_of : (Format.formatter -> 'a -> unit) -> 'a -> string

@@ -1,5 +1,7 @@
 (** Table 1: percentage increase in execution time when full run-time
-    checking is added, with the arith / vector / list contributions. *)
+    checking is added, with the arith / vector / list contributions.
+    Declared as a {!Spec.artifact}: the matrix is the suite with and
+    without checking; the render is a pure reduction over the store. *)
 
 module Stats = Tagsim_sim.Stats
 module Annot = Tagsim_mipsx.Annot
@@ -27,25 +29,24 @@ let added_cycles stats (src : Annot.source) =
   + Stats.check_only ~checking:true ~source:src stats
   + if src = Annot.Arith_op then Stats.generic_arith ~checking:true stats else 0
 
-let measure ?(scheme = Scheme.high5) () =
-  let base_support = Support.software in
-  let chk_support = Support.with_checking Support.software in
-  (* Warm the measurement cache in parallel before the serial
-     aggregation below. *)
-  ignore
-    (Run.run_many
-       (List.concat_map
-          (fun entry ->
-            [
-              Run.config ~scheme ~support:base_support entry;
-              Run.config ~scheme ~support:chk_support entry;
-            ])
-          (Run.all_entries ())));
+let base_support = Support.software
+let chk_support = Support.with_checking Support.software
+
+let configs_for scheme entries =
+  List.concat_map
+    (fun entry ->
+      [
+        Run.config ~scheme ~support:base_support entry;
+        Run.config ~scheme ~support:chk_support entry;
+      ])
+    entries
+
+let render_for scheme entries (lookup : Spec.lookup) =
   let rows =
     List.map
       (fun entry ->
-        let base = Run.run ~scheme ~support:base_support entry in
-        let chk = Run.run ~scheme ~support:chk_support entry in
+        let base = lookup (Run.config ~scheme ~support:base_support entry) in
+        let chk = lookup (Run.config ~scheme ~support:chk_support entry) in
         let b = Stats.total base.Run.stats in
         let s = chk.Run.stats in
         {
@@ -60,7 +61,7 @@ let measure ?(scheme = Scheme.high5) () =
           total = Run.pct (Stats.total s - b) b;
           paper_total = entry.Registry.paper.Registry.p_total;
         })
-      (Run.all_entries ())
+      entries
   in
   let avg f = Run.mean (List.map f rows) in
   let average =
@@ -87,3 +88,64 @@ let pp ppf t =
   in
   List.iter (fun r -> Fmt.pf ppf "%a@\n" row r) t.rows;
   Fmt.pf ppf "%a@\n" row t.average
+
+(* --- sinks --- *)
+
+let json_of_row r =
+  Spec.J_obj
+    [
+      ("name", Spec.J_string r.name);
+      ("arith", Spec.J_float r.arith);
+      ("vector", Spec.J_float r.vector);
+      ("list", Spec.J_float r.list);
+      ("other", Spec.J_float r.other);
+      ("total", Spec.J_float r.total);
+      ("paper_total", Spec.J_float r.paper_total);
+    ]
+
+let json_of t =
+  Spec.J_obj
+    [
+      ("rows", Spec.J_list (List.map json_of_row t.rows));
+      ("average", json_of_row t.average);
+    ]
+
+let tables_of t =
+  let cells r =
+    [
+      r.name; Spec.cell r.arith; Spec.cell r.vector; Spec.cell r.list;
+      Spec.cell r.other; Spec.cell r.total; Spec.cell r.paper_total;
+    ]
+  in
+  [
+    {
+      Spec.t_name = "table1";
+      columns =
+        [ "name"; "arith"; "vector"; "list"; "other"; "total"; "paper_total" ];
+      rows = List.map cells (t.rows @ [ t.average ]);
+    };
+  ]
+
+let title = "% increase in execution time from full run-time checking"
+
+let to_rendered t =
+  {
+    Spec.r_name = "table1";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "table1";
+    a_title = title;
+    a_configs = configs_for Scheme.high5;
+    a_render =
+      (fun entries lookup -> to_rendered (render_for Scheme.high5 entries lookup));
+  }
+
+let measure ?(scheme = Scheme.high5) () =
+  let entries = Run.all_entries () in
+  render_for scheme entries (Spec.lookup_of (configs_for scheme entries))

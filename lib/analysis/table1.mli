@@ -13,5 +13,11 @@ type row = {
 
 type t = { rows : row list; average : row }
 
+(** The declarative form: matrix + pure render (see {!Spec}). *)
+val artifact : Spec.artifact
+
+(** Convenience: plan and render just this artifact over the full
+    suite. *)
 val measure : ?scheme:Tagsim_tags.Scheme.t -> unit -> t
+
 val pp : Format.formatter -> t -> unit

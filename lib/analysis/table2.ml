@@ -31,83 +31,67 @@ type t = {
   spur : speedup; (* row 7 with lists-only parallel checking *)
 }
 
-(* Total cycles of the whole suite under a configuration. *)
-let suite_cycles ~scheme ~support =
-  List.fold_left
-    (fun acc entry ->
-      let m = Run.run ~scheme ~support entry in
-      acc + Stats.total m.Run.stats)
-    0 (Run.all_entries ())
+(* The (scheme, support) cells of this table: the Low2 software variant
+   of row 1, plus every named hardware configuration under High5 — each
+   measured with and without run-time checking over the whole suite. *)
+let cells =
+  (Scheme.low2, Support.software)
+  :: List.map (fun (_, s) -> (Scheme.high5, s)) Support.all_named
 
-let suite_metric ~scheme ~support metric =
-  List.fold_left
-    (fun acc entry ->
-      let m = Run.run ~scheme ~support entry in
-      acc + metric m.Run.stats)
-    0 (Run.all_entries ())
+let configs_of entries =
+  List.concat_map
+    (fun (scheme, support) ->
+      List.concat_map
+        (fun entry ->
+          [
+            Run.config ~scheme ~support entry;
+            Run.config ~scheme ~support:(Support.with_checking support) entry;
+          ])
+        entries)
+    cells
 
-let speedup_vs ~base_scheme ~scheme support =
-  let one rtc =
-    let wrap s = if rtc then Support.with_checking s else s in
-    let base = suite_cycles ~scheme:base_scheme ~support:(wrap Support.software) in
-    let c = suite_cycles ~scheme ~support:(wrap support) in
-    Run.pct (base - c) base
-  in
-  { no_rtc = one false; rtc = one true }
-
-let decompose ~base_scheme ~scheme support =
-  let comp metric rtc =
-    let wrap s = if rtc then Support.with_checking s else s in
-    let base_total =
-      suite_cycles ~scheme:base_scheme ~support:(wrap Support.software)
-    in
-    let base = suite_metric ~scheme:base_scheme ~support:(wrap Support.software) metric in
-    let c = suite_metric ~scheme ~support:(wrap support) metric in
-    Run.pct (base - c) base_total
-  in
-  {
-    d_check =
-      {
-        no_rtc = comp (fun s -> Stats.tag_checking s) false;
-        rtc = comp (fun s -> Stats.tag_checking s) true;
-      };
-    d_mask =
-      {
-        no_rtc = comp (fun s -> Stats.removal s) false;
-        rtc = comp (fun s -> Stats.removal s) true;
-      };
-    d_total = speedup_vs ~base_scheme ~scheme support;
-  }
-
-let measure () =
+let render_of entries (lookup : Spec.lookup) =
   let h5 = Scheme.high5 in
-  (* The full matrix of this table, fanned out across the pool before
-     the serial aggregation below: (scheme, support) cells, each with
-     and without run-time checking, for every program. *)
-  let cells =
-    (Scheme.low2, Support.software)
-    :: List.map
-         (fun s -> (h5, s))
-         [
-           Support.software; Support.row1_hw; Support.row2; Support.row3;
-           Support.row4; Support.row5; Support.row6; Support.row7;
-           Support.spur;
-         ]
+  let suite_cycles = Spec.suite_cycles ~entries lookup in
+  let suite_metric = Spec.suite_metric ~entries lookup in
+  let speedup_vs ~base_scheme ~scheme support =
+    let one rtc =
+      let wrap s = if rtc then Support.with_checking s else s in
+      let base =
+        suite_cycles ~scheme:base_scheme ~support:(wrap Support.software)
+      in
+      let c = suite_cycles ~scheme ~support:(wrap support) in
+      Run.pct (base - c) base
+    in
+    { no_rtc = one false; rtc = one true }
   in
-  ignore
-    (Run.run_many
-       (List.concat_map
-          (fun (scheme, support) ->
-            List.concat_map
-              (fun entry ->
-                [
-                  Run.config ~scheme ~support entry;
-                  Run.config ~scheme
-                    ~support:(Support.with_checking support)
-                    entry;
-                ])
-              (Run.all_entries ()))
-          cells));
+  let decompose ~base_scheme ~scheme support =
+    let comp metric rtc =
+      let wrap s = if rtc then Support.with_checking s else s in
+      let base_total =
+        suite_cycles ~scheme:base_scheme ~support:(wrap Support.software)
+      in
+      let base =
+        suite_metric ~scheme:base_scheme ~support:(wrap Support.software)
+          metric
+      in
+      let c = suite_metric ~scheme ~support:(wrap support) metric in
+      Run.pct (base - c) base_total
+    in
+    {
+      d_check =
+        {
+          no_rtc = comp (fun s -> Stats.tag_checking s) false;
+          rtc = comp (fun s -> Stats.tag_checking s) true;
+        };
+      d_mask =
+        {
+          no_rtc = comp (fun s -> Stats.removal s) false;
+          rtc = comp (fun s -> Stats.removal s) true;
+        };
+      d_total = speedup_vs ~base_scheme ~scheme support;
+    }
+  in
   {
     row1_software = speedup_vs ~base_scheme:h5 ~scheme:Scheme.low2 Support.software;
     row1 = speedup_vs ~base_scheme:h5 ~scheme:h5 Support.row1_hw;
@@ -144,3 +128,68 @@ let pp ppf t =
     "0 / 18.2";
   dec "7  all of the above" t.row7 "3.6+ / ..." "5.7 / ..." "9.3 / 22.1";
   row "   SPUR (row 7, lists-only par. checking)" t.spur "9 / 21"
+
+(* --- sinks --- *)
+
+(* Flat (label, speedup) rows, decomposed rows expanded, for both
+   sinks. *)
+let flat t =
+  let simple label s = [ (label, s) ] in
+  let dec label d =
+    [
+      (label ^ ".check", d.d_check);
+      (label ^ ".mask", d.d_mask);
+      (label ^ ".total", d.d_total);
+    ]
+  in
+  simple "row1_software" t.row1_software
+  @ simple "row1" t.row1 @ simple "row2" t.row2 @ simple "row3" t.row3
+  @ simple "row4" t.row4 @ dec "row5" t.row5 @ dec "row6" t.row6
+  @ dec "row7" t.row7 @ simple "spur" t.spur
+
+let json_of t =
+  Spec.J_obj
+    (List.map
+       (fun (label, s) ->
+         ( label,
+           Spec.J_obj
+             [
+               ("no_rtc", Spec.J_float s.no_rtc);
+               ("rtc", Spec.J_float s.rtc);
+             ] ))
+       (flat t))
+
+let tables_of t =
+  [
+    {
+      Spec.t_name = "table2";
+      columns = [ "row"; "no_rtc"; "rtc" ];
+      rows =
+        List.map
+          (fun (label, s) -> [ label; Spec.cell s.no_rtc; Spec.cell s.rtc ])
+          (flat t);
+    };
+  ]
+
+let title = "speedup for degrees of hardware support (suite-aggregate)"
+
+let to_rendered t =
+  {
+    Spec.r_name = "table2";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "table2";
+    a_title = title;
+    a_configs = configs_of;
+    a_render = (fun entries lookup -> to_rendered (render_of entries lookup));
+  }
+
+let measure () =
+  let entries = Run.all_entries () in
+  render_of entries (Spec.lookup_of (configs_of entries))

@@ -23,5 +23,11 @@ type t = {
   spur : speedup;
 }
 
+(** The declarative form: matrix + pure render (see {!Spec}). *)
+val artifact : Spec.artifact
+
+(** Convenience: plan and render just this artifact over the full
+    suite. *)
 val measure : unit -> t
+
 val pp : Format.formatter -> t -> unit

@@ -16,22 +16,22 @@ type row = {
 
 type t = row list
 
-let measure ?(scheme = Scheme.high5) () =
-  ignore
-    (Run.run_many
-       (List.map
-          (fun entry -> Run.config ~scheme ~support:Support.software entry)
-          (Run.all_entries ())));
+let configs_for scheme entries =
+  List.map
+    (fun entry -> Run.config ~scheme ~support:Support.software entry)
+    entries
+
+let render_for scheme entries (lookup : Spec.lookup) =
   List.map
     (fun entry ->
-      let m = Run.run ~scheme ~support:Support.software entry in
+      let m = lookup (Run.config ~scheme ~support:Support.software entry) in
       {
         name = entry.Registry.name;
         procedures = m.Run.meta.Tagsim_compiler.Program.procedures;
         source_lines = m.Run.meta.Tagsim_compiler.Program.source_lines;
         object_words = m.Run.meta.Tagsim_compiler.Program.object_words;
       })
-    (Run.all_entries ())
+    entries
 
 let pp ppf t =
   Fmt.pf ppf "Table 3: information on the 10 test programs@\n";
@@ -41,3 +41,59 @@ let pp ppf t =
       Fmt.pf ppf "%-8s %12d %8d %12d@\n" r.name r.procedures r.source_lines
         r.object_words)
     t
+
+(* --- sinks --- *)
+
+let json_of t =
+  Spec.J_list
+    (List.map
+       (fun r ->
+         Spec.J_obj
+           [
+             ("name", Spec.J_string r.name);
+             ("procedures", Spec.J_int r.procedures);
+             ("source_lines", Spec.J_int r.source_lines);
+             ("object_words", Spec.J_int r.object_words);
+           ])
+       t)
+
+let tables_of t =
+  [
+    {
+      Spec.t_name = "table3";
+      columns = [ "name"; "procedures"; "source_lines"; "object_words" ];
+      rows =
+        List.map
+          (fun r ->
+            [
+              r.name; string_of_int r.procedures;
+              string_of_int r.source_lines; string_of_int r.object_words;
+            ])
+          t;
+    };
+  ]
+
+let title = "static information on the test programs"
+
+let to_rendered t =
+  {
+    Spec.r_name = "table3";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "table3";
+    a_title = title;
+    a_configs = configs_for Scheme.high5;
+    a_render =
+      (fun entries lookup ->
+        to_rendered (render_for Scheme.high5 entries lookup));
+  }
+
+let measure ?(scheme = Scheme.high5) () =
+  let entries = Run.all_entries () in
+  render_for scheme entries (Spec.lookup_of (configs_for scheme entries))

@@ -46,6 +46,8 @@ module Benchmarks = Tagsim_programs.Registry
 module Analysis = struct
   module Pool = Tagsim_analysis.Pool
   module Run = Tagsim_analysis.Run
+  module Spec = Tagsim_analysis.Spec
+  module Planner = Tagsim_analysis.Planner
   module Table1 = Tagsim_analysis.Table1
   module Table2 = Tagsim_analysis.Table2
   module Table3 = Tagsim_analysis.Table3

@@ -64,6 +64,24 @@ let row7 =
    only. *)
 let spur = { row7 with parallel_check = Pc_lists }
 
+(* The named configurations, in Table 2 order: the single source of
+   truth for the CLI's [--hw] parser and the spec layer's Table 2
+   matrix. *)
+let all_named =
+  [
+    ("software", software);
+    ("row1", row1_hw);
+    ("row2", row2);
+    ("row3", row3);
+    ("row4", row4);
+    ("row5", row5);
+    ("row6", row6);
+    ("row7", row7);
+    ("spur", spur);
+  ]
+
+let by_name name = List.assoc_opt name all_named
+
 let describe t =
   let flags =
     [

@@ -40,4 +40,12 @@ val row7 : t
 (** Section 7: row 7 but with parallel checking on list accesses only. *)
 val spur : t
 
+(** The named configurations above, in Table 2 order ([software],
+    [row1] .. [row7], [spur]): the single source of truth for the CLI's
+    [--hw] parser and the experiment-plan layer. *)
+val all_named : (string * t) list
+
+(** Look a configuration up in {!all_named}. *)
+val by_name : string -> t option
+
 val describe : t -> string
