@@ -1,6 +1,6 @@
 # Convenience targets; the build itself is plain dune.
 
-.PHONY: all build test check bench experiments results clean
+.PHONY: all build test check bench experiments results clean clean-cache
 
 all: build
 
@@ -30,3 +30,7 @@ results: build
 
 clean:
 	dune clean
+
+# Wipe the persistent measurement cache.
+clean-cache:
+	rm -rf _tagsim_cache

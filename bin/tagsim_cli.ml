@@ -76,11 +76,12 @@ let engine_arg =
 let jobs =
   Arg.(
     value
-    & opt int 1
+    & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for the experiment matrix; 0 means the \
-           recommended domain count of this machine.")
+          "Worker domains for the experiment matrix; 0 (the default) \
+           means the recommended domain count of this machine, clamped \
+           to 16.")
 
 let support_of checking config =
   if checking then Tagsim.Support.with_checking config else config
@@ -227,11 +228,33 @@ let profile_cmd =
 
 (* --- experiments --- *)
 
+(* The [--verbose] run summary, on stderr so the artifact text on stdout
+   stays byte-identical between cold and warm runs.  CI greps the
+   "cache:" and "simulations:" lines to assert a 100% hit rate. *)
+let print_run_summary () =
+  let module Cache = Tagsim.Analysis.Cache in
+  let hits, misses, writes = Cache.counters () in
+  let compile_s, simulate_s, render_s =
+    Tagsim.Analysis.Instrument.totals ()
+  in
+  Fmt.epr "== run summary ==@.";
+  Fmt.epr "jobs: %d@." !Tagsim.Analysis.Pool.default_jobs;
+  if Cache.enabled () then
+    Fmt.epr "cache: %d hits, %d misses, %d writes (dir %s)@." hits misses
+      writes (Cache.dir ())
+  else Fmt.epr "cache: disabled@.";
+  Fmt.epr "simulations: %d@." (Tagsim.Analysis.Run.simulations ());
+  Fmt.epr "phases: compile %.2fs  simulate %.2fs  render %.2fs@." compile_s
+    simulate_s render_s
+
 let experiments_cmd =
   let module Spec = Tagsim.Analysis.Spec in
   let module Planner = Tagsim.Analysis.Planner in
-  let run only jobs engine json csv =
+  let module Cache = Tagsim.Analysis.Cache in
+  let run only jobs engine json csv cache_dir no_cache verbose =
     Tagsim.Analysis.Pool.set_default_jobs jobs;
+    Cache.set_dir cache_dir;
+    Cache.set_enabled (not no_cache);
     let want name = only = [] || List.mem name only in
     (* One global plan: the union of the requested artifacts' matrices,
        deduplicated and fanned out once over the pool. *)
@@ -247,7 +270,8 @@ let experiments_cmd =
         else Fmt.pr "@.%s@." r.Spec.r_text)
       rendered;
     Option.iter (fun path -> Planner.write_json path rendered) json;
-    Option.iter (fun path -> Planner.write_csv path rendered) csv
+    Option.iter (fun path -> Planner.write_csv path rendered) csv;
+    if verbose then print_run_summary ()
   in
   let only =
     Arg.(
@@ -274,10 +298,40 @@ let experiments_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also write the rendered artifacts as CSV sections to $(docv).")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "_tagsim_cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory of the persistent measurement cache (created on \
+             demand; entries are content-addressed and re-run \
+             invariant, so the store can be kept across invocations \
+             and branches).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Bypass the persistent measurement cache entirely: neither \
+             read nor write the store.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Print a run summary on stderr: worker count, cache \
+             hit/miss/write counters, simulations performed and \
+             per-phase (compile/simulate/render) wall-clock totals.")
+  in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ only $ jobs $ engine_arg $ json $ csv)
+    Term.(
+      const run $ only $ jobs $ engine_arg $ json $ csv $ cache_dir
+      $ no_cache $ verbose)
 
 let () =
   let doc =

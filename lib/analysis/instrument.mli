@@ -1,0 +1,20 @@
+(** Wall-clock phase accounting for the measurement pipeline: compile,
+    simulate and render seconds accumulated across all worker domains,
+    printed by the CLI under [--verbose]. *)
+
+type phase = Compile | Simulate | Render
+
+(** [Unix.gettimeofday]. *)
+val now : unit -> float
+
+(** Accumulate [dt] seconds into a phase total (thread-safe). *)
+val add : phase -> float -> unit
+
+(** Run [f] and charge its wall-clock duration to [phase] (also on
+    exception). *)
+val time : phase -> (unit -> 'a) -> 'a
+
+(** [(compile, simulate, render)] seconds since start or {!reset}. *)
+val totals : unit -> float * float * float
+
+val reset : unit -> unit

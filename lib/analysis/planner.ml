@@ -37,7 +37,8 @@ let plan ?jobs ?(engine = `Fused) ?entries (requested : Spec.artifact list) =
   in
   let union = List.concat_map (fun a -> a.Spec.a_configs entries) requested in
   let lookup = Spec.lookup_of ?jobs ~engine union in
-  List.map (fun a -> a.Spec.a_render entries lookup) requested
+  Instrument.time Instrument.Render (fun () ->
+      List.map (fun a -> a.Spec.a_render entries lookup) requested)
 
 (** {1 Sinks} *)
 

@@ -16,7 +16,11 @@
    then. *)
 let default_jobs = ref 1
 
-let recommended () = Domain.recommended_domain_count ()
+(* The recommended count, clamped to [1, 16]: every task is a
+   seconds-coarse compile+simulate, so past ~16 workers the matrix
+   (a few hundred cells at most) stops scaling while memory cost
+   (one ~4 MiB machine per in-flight task) keeps growing. *)
+let recommended () = max 1 (min 16 (Domain.recommended_domain_count ()))
 
 (** Clamp and install the default worker count; [jobs <= 0] means
     {!recommended}. *)

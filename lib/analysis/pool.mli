@@ -7,7 +7,7 @@
     {!set_default_jobs} is called. *)
 val default_jobs : int ref
 
-(** [Domain.recommended_domain_count ()]. *)
+(** [Domain.recommended_domain_count ()], clamped to [1, 16]. *)
 val recommended : unit -> int
 
 (** Install the default worker count; [jobs <= 0] means

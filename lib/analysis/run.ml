@@ -45,6 +45,29 @@ let cache_mutex = Mutex.create ()
 let clear_cache () =
   Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)
 
+(* Shared compiler front ends: parse/expand/prune is independent of the
+   scheme, support and scheduler configuration, so each distinct source
+   is analyzed once per process and the result shared across the whole
+   configuration matrix (frontends are immutable).  Keyed by source
+   digest, so entries that alias one source (deduce/dedgc) share one
+   front end.  The analysis runs under the lock: it is cheap relative
+   to one simulation and runs once per program. *)
+let frontends : (string, Program.frontend) Hashtbl.t = Hashtbl.create 16
+let frontend_mutex = Mutex.create ()
+
+let frontend_of (entry : Registry.entry) =
+  let k = Digest.string entry.Registry.source in
+  Mutex.protect frontend_mutex (fun () ->
+      match Hashtbl.find_opt frontends k with
+      | Some fe -> fe
+      | None ->
+          let fe = Program.analyze entry.Registry.source in
+          Hashtbl.replace frontends k fe;
+          fe)
+
+let reset_frontends () =
+  Mutex.protect frontend_mutex (fun () -> Hashtbl.reset frontends)
+
 (* Count of actual simulations performed (memo-cache misses), for tests
    that assert the planner simulates each distinct configuration exactly
    once.  Under concurrent workers a configuration may be simulated
@@ -78,51 +101,94 @@ let config_key c =
   | `Fused -> "fus")
   ^ "/" ^ matrix_key c
 
+(* The persistent-store key of a configuration: engine-agnostic, like
+   [matrix_key], but content-addressed (see {!Cache.key}). *)
+let cache_key c =
+  Cache.key ~sched:c.c_sched ~scheme:c.c_scheme ~support:c.c_support c.c_entry
+
+let memo_find k = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k)
+let memo_add k m = Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k m)
+
+(* Consult the caches, L1 (in-process memo) then L2 (persistent store),
+   without computing anything.  An L2 hit is promoted into the memo
+   under the engine-qualified key, so later lookups under the same
+   engine are lock-only. *)
+let lookup_cached c =
+  let k = config_key c in
+  match memo_find k with
+  | Some m -> Some m
+  | None -> (
+      match Cache.load (cache_key c) with
+      | None -> None
+      | Some p ->
+          let m =
+            {
+              entry = c.c_entry;
+              scheme = c.c_scheme;
+              support = c.c_support;
+              stats = p.Cache.p_stats;
+              gc_collections = p.Cache.p_gc_collections;
+              gc_bytes_copied = p.Cache.p_gc_bytes_copied;
+              meta = p.Cache.p_meta;
+            }
+          in
+          memo_add k m;
+          Some m)
+
 (* The computation is deliberately outside the cache lock: concurrent
    workers may duplicate a measurement (it is deterministic, so the
    last [replace] wins harmlessly), but they never serialise on the
    simulator.  [run_many] de-duplicates its matrix up front, so in
    practice each configuration is simulated once. *)
+let compute_config c =
+  Atomic.incr simulation_count;
+  let entry = c.c_entry and scheme = c.c_scheme and support = c.c_support in
+  let program =
+    Instrument.time Instrument.Compile (fun () ->
+        Program.compile_frontend ~sched:c.c_sched ~sizes:entry.Registry.sizes
+          ~scheme ~support (frontend_of entry))
+  in
+  let result =
+    Instrument.time Instrument.Simulate (fun () ->
+        Program.run ~engine:c.c_engine program)
+  in
+  (match result.Program.abort with
+  | Some msg ->
+      raise
+        (Wrong_result
+           (Printf.sprintf "%s [%s]: aborted: %s" entry.Registry.name
+              scheme.Scheme.name msg))
+  | None -> ());
+  let got = Program.hval_to_string (Option.get result.Program.value) in
+  if got <> entry.Registry.expected then
+    raise
+      (Wrong_result
+         (Printf.sprintf "%s [%s/%s]: got %s, expected %s"
+            entry.Registry.name scheme.Scheme.name (Support.describe support)
+            got entry.Registry.expected));
+  let m =
+    {
+      entry;
+      scheme;
+      support;
+      stats = result.Program.stats;
+      gc_collections = result.Program.gc_collections;
+      gc_bytes_copied = result.Program.gc_bytes_copied;
+      meta = program.Program.meta;
+    }
+  in
+  Cache.store (cache_key c)
+    {
+      Cache.p_stats = m.stats;
+      p_gc_collections = m.gc_collections;
+      p_gc_bytes_copied = m.gc_bytes_copied;
+      p_meta = m.meta;
+    };
+  memo_add (config_key c) m;
+  m
+
 let run_config c =
-  let k = config_key c in
-  let cached = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k) in
-  match cached with
-  | Some m -> m
-  | None ->
-      Atomic.incr simulation_count;
-      let entry = c.c_entry and scheme = c.c_scheme and support = c.c_support in
-      let program =
-        Program.compile ~sched:c.c_sched ~sizes:entry.Registry.sizes ~scheme
-          ~support entry.Registry.source
-      in
-      let result = Program.run ~engine:c.c_engine program in
-      (match result.Program.abort with
-      | Some msg ->
-          raise
-            (Wrong_result
-               (Printf.sprintf "%s [%s]: aborted: %s" entry.Registry.name
-                  scheme.Scheme.name msg))
-      | None -> ());
-      let got = Program.hval_to_string (Option.get result.Program.value) in
-      if got <> entry.Registry.expected then
-        raise
-          (Wrong_result
-             (Printf.sprintf "%s [%s/%s]: got %s, expected %s"
-                entry.Registry.name scheme.Scheme.name
-                (Support.describe support) got entry.Registry.expected));
-      let m =
-        {
-          entry;
-          scheme;
-          support;
-          stats = result.Program.stats;
-          gc_collections = result.Program.gc_collections;
-          gc_bytes_copied = result.Program.gc_bytes_copied;
-          meta = program.Program.meta;
-        }
-      in
-      Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k m);
-      m
+  match lookup_cached c with Some m -> m | None -> compute_config c
 
 let config ?(sched = Sched.default) ?(engine = `Fused) ~scheme ~support entry =
   {
@@ -141,7 +207,9 @@ let run ?sched ?engine ~scheme ~support (entry : Registry.entry) =
     are simulated once: the pool maps over the distinct configurations
     and the results are collected through a keyed map, with no second
     simulation pass (the memo cache still gets warmed for later
-    callers). *)
+    callers).  The caches are consulted on the calling domain {e before}
+    dispatch — only genuinely missing configurations reach the pool, so
+    a fully warm run spawns no workers and simulates nothing. *)
 let run_many ?jobs (configs : config list) =
   let seen = Hashtbl.create 64 in
   let distinct =
@@ -155,11 +223,21 @@ let run_many ?jobs (configs : config list) =
         end)
       configs
   in
-  let measured = Pool.map ?jobs run_config distinct in
   let by_key = Hashtbl.create 64 in
+  let missing =
+    List.filter
+      (fun c ->
+        match lookup_cached c with
+        | Some m ->
+            Hashtbl.replace by_key (config_key c) m;
+            false
+        | None -> true)
+      distinct
+  in
+  let measured = Pool.map ?jobs compute_config missing in
   List.iter2
     (fun c m -> Hashtbl.replace by_key (config_key c) m)
-    distinct measured;
+    missing measured;
   List.map (fun c -> Hashtbl.find by_key (config_key c)) configs
 
 let all_entries () = Registry.all ()

@@ -36,8 +36,16 @@ type config = {
   c_engine : Machine.engine;
 }
 
-(** Empty the memo cache (tests). *)
+(** Empty the in-process memo cache (tests; the persistent store is
+    {!Cache}'s and is untouched). *)
 val clear_cache : unit -> unit
+
+(** Drop the shared compiler front ends (cold-run benchmarking). *)
+val reset_frontends : unit -> unit
+
+(** The persistent-store key of a configuration: engine-agnostic
+    content-addressed digest (see {!Cache.key}). *)
+val cache_key : config -> string
 
 (** Number of actual simulations performed since start (or the last
     {!reset_simulations}): memo-cache misses only.  Exact only for
@@ -75,7 +83,9 @@ val run_config : config -> measurement
 
 (** Run a configuration matrix on the pool's worker domains ([jobs]
     defaults to {!Pool.default_jobs}) and return the measurements in
-    input order.  Duplicated configurations are simulated once. *)
+    input order.  Duplicated configurations are simulated once, and the
+    memo + persistent caches are consulted before dispatch: only missing
+    configurations reach the pool. *)
 val run_many : ?jobs:int -> config list -> measurement list
 
 val all_entries : unit -> Registry.entry list

@@ -87,6 +87,19 @@ type meta = {
   object_words : int;
 }
 
+(** The config-independent front half of the pipeline: the pruned
+    definition list that every tag-scheme/support configuration compiles
+    from, plus the static metadata that does not depend on the emitted
+    code.  Parsing, macro-expansion and reachability pruning see neither
+    the scheme nor the support flags, so a front end is computed once per
+    source and shared across the whole configuration matrix (the
+    structures are immutable, hence safe to read from worker domains). *)
+type frontend = {
+  fe_retained : (string * Ast.def) list;
+  fe_procedures : int;
+  fe_source_lines : int; (* user + retained prelude, non-blank lines *)
+}
+
 type t = {
   image : Image.t;
   scheme : Scheme.t;
@@ -112,17 +125,20 @@ let count_lines src =
          String.length l > 0 && l.[0] <> ';')
   |> List.length
 
-let compile ?(sched = Sched.default) ?(sizes = L.default_sizes)
-    ?(mem_bytes = 1 lsl 22) ~scheme ~support source : t =
-  (* 1. Parse and expand the prelude and the user program. *)
-  let prelude_defs =
-    List.map
-      (fun (name, src) ->
-        match Expand.program src with
-        | [ d ] -> (name, d, src)
-        | _ -> errorf "prelude %s: expected one definition" name)
-      Prelude.functions
-  in
+(* The prelude's parse+expand result is program- and config-independent:
+   computed once at module initialisation (on the main domain, before
+   any worker spawns) and shared by every front end. *)
+let prelude_defs =
+  List.map
+    (fun (name, src) ->
+      match Expand.program src with
+      | [ d ] -> (name, d, src)
+      | _ -> errorf "prelude %s: expected one definition" name)
+    Prelude.functions
+
+let analyze source : frontend =
+  (* 1. Parse and expand the user program (the prelude is pre-expanded
+     above). *)
   let user_defs = Expand.program source in
   let user_names = List.map (fun d -> d.Ast.name) user_defs in
   (* User definitions shadow prelude ones. *)
@@ -147,6 +163,25 @@ let compile ?(sched = Sched.default) ?(sizes = L.default_sizes)
   (* 2. Prune to the reachable set. *)
   let live = reachable defs ~roots:[ "main" ] in
   let retained = List.filter (fun (n, _) -> Hashtbl.mem live n) defs in
+  (* Static metadata for Table 3 that only depends on the retained
+     source, never on the emitted code. *)
+  let retained_prelude_lines =
+    List.fold_left
+      (fun n (name, _, src) ->
+        if Hashtbl.mem live name && not (List.mem name user_names) then
+          n + count_lines src
+        else n)
+      0 prelude_defs
+  in
+  {
+    fe_retained = retained;
+    fe_procedures = List.length retained;
+    fe_source_lines = count_lines source + retained_prelude_lines;
+  }
+
+let compile_frontend ?(sched = Sched.default) ?(sizes = L.default_sizes)
+    ?(mem_bytes = 1 lsl 22) ~scheme ~support (fe : frontend) : t =
+  let retained = fe.fe_retained in
   (* 3. Compile. *)
   let symtab = Symtab.with_builtins () in
   let funcs = Hashtbl.create 64 in
@@ -168,18 +203,10 @@ let compile ?(sched = Sched.default) ?(sizes = L.default_sizes)
   let image = Image.assemble ~sched final in
   assert (Image.data_address image L.l_symtab = L.symtab_base);
   (* 5. Metadata for Table 3. *)
-  let retained_prelude_lines =
-    List.fold_left
-      (fun n (name, _, src) ->
-        if Hashtbl.mem live name && not (List.mem name user_names) then
-          n + count_lines src
-        else n)
-      0 prelude_defs
-  in
   let meta =
     {
-      procedures = List.length retained;
-      source_lines = count_lines source + retained_prelude_lines;
+      procedures = fe.fe_procedures;
+      source_lines = fe.fe_source_lines;
       object_words = Image.size_in_words image;
     }
   in
@@ -194,6 +221,9 @@ let compile ?(sched = Sched.default) ?(sizes = L.default_sizes)
     exec_cache = [||];
     blocks_cache = [||];
   }
+
+let compile ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
+  compile_frontend ?sched ?sizes ?mem_bytes ~scheme ~support (analyze source)
 
 (* --- Loading and running. --- *)
 

@@ -35,6 +35,37 @@ type t = {
   mutable blocks_cache : Machine.block option array;
 }
 
+(** {1 Staged pipeline}
+
+    Parsing, macro-expansion and reachability pruning are independent of
+    the tag scheme, the support flags and the scheduler configuration, so
+    when one source is compiled under a whole configuration matrix the
+    front half runs once ({!analyze}) and only the tag-dependent back
+    half ({!compile_frontend}) re-runs per configuration.  A [frontend]
+    is immutable and safe to share across worker domains. *)
+
+type frontend = {
+  fe_retained : (string * Tagsim_lisp.Ast.def) list;
+      (* pruned, prelude included, definition order *)
+  fe_procedures : int;
+  fe_source_lines : int; (* user + retained prelude, non-blank lines *)
+}
+
+(** Parse, expand and prune a program (with the pre-expanded prelude);
+    raises {!Error} on malformed sources. *)
+val analyze : string -> frontend
+
+(** The config-dependent back half: codegen, scheduling, assembly. *)
+val compile_frontend :
+  ?sched:Sched.config ->
+  ?sizes:L.sizes ->
+  ?mem_bytes:int ->
+  scheme:Scheme.t ->
+  support:Support.t ->
+  frontend ->
+  t
+
+(** [compile_frontend] of [analyze]: the one-shot pipeline. *)
 val compile :
   ?sched:Sched.config ->
   ?sizes:L.sizes ->

@@ -45,6 +45,8 @@ module Oracle = Tagsim_compiler.Oracle
 module Benchmarks = Tagsim_programs.Registry
 module Analysis = struct
   module Pool = Tagsim_analysis.Pool
+  module Cache = Tagsim_analysis.Cache
+  module Instrument = Tagsim_analysis.Instrument
   module Run = Tagsim_analysis.Run
   module Spec = Tagsim_analysis.Spec
   module Planner = Tagsim_analysis.Planner

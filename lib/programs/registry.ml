@@ -130,4 +130,21 @@ let find name =
   | Some e -> e
   | None -> invalid_arg ("unknown benchmark: " ^ name)
 
+(* Content identity of an entry for the persistent measurement cache:
+   everything that feeds a measurement besides the scheme/support/sched
+   configuration — the source text, the heap sizing (dedgc differs from
+   deduce only here) and the expected value the run is validated
+   against.  Deliberately excludes [name] and [description]: renaming or
+   re-describing a benchmark does not invalidate its measurements. *)
+let fingerprint (e : entry) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            e.source;
+            e.expected;
+            string_of_int e.sizes.L.stack_bytes;
+            string_of_int e.sizes.L.semi_bytes;
+          ]))
+
 let names () = List.map (fun e -> e.name) (all ())

@@ -28,3 +28,8 @@ val all : unit -> entry list
 val find : string -> entry
 
 val names : unit -> string list
+
+(** Content identity of an entry for the persistent measurement cache:
+    hex digest over source, expected value and heap sizing (name and
+    description excluded). *)
+val fingerprint : entry -> string

@@ -1,0 +1,200 @@
+(* The persistent (L2) measurement cache: round-trip equality through
+   the on-disk store, robustness against corrupt/truncated entries, key
+   sensitivity to the configuration, engine-agnostic keys, and the
+   bypass switch.  The staged compiler front end rides along (the cache
+   and the shared front ends were introduced together). *)
+
+module B = Tagsim.Benchmarks
+module Run = Tagsim.Analysis.Run
+module Cache = Tagsim.Analysis.Cache
+module Program = Tagsim.Program
+module Stats = Tagsim.Stats
+module Scheme = Tagsim.Scheme
+module Support = Tagsim.Support
+module Sched = Tagsim.Sched
+
+let test_dir = "_tagsim_cache_test"
+
+(* Point the store at a private directory, start empty, and leave the
+   library in its default (disabled, empty-memo) state afterwards. *)
+let with_cache f =
+  Cache.set_dir test_dir;
+  Cache.set_enabled true;
+  Cache.wipe ();
+  Cache.reset_counters ();
+  Run.clear_cache ();
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.wipe ();
+      Cache.set_enabled false;
+      Cache.set_dir "_tagsim_cache";
+      Run.clear_cache ())
+    f
+
+let inter () = B.find "inter"
+
+let config ?engine ?support () =
+  let support = Option.value support ~default:Support.software in
+  Run.config ?engine ~scheme:Scheme.high5 ~support (inter ())
+
+let check_measurement_equal what (a : Run.measurement) (b : Run.measurement) =
+  Alcotest.(check bool) (what ^ ": stats equal") true (Stats.equal a.Run.stats b.Run.stats);
+  Alcotest.(check int) (what ^ ": gc collections") a.Run.gc_collections b.Run.gc_collections;
+  Alcotest.(check int) (what ^ ": gc bytes") a.Run.gc_bytes_copied b.Run.gc_bytes_copied;
+  Alcotest.(check bool) (what ^ ": meta equal") true (a.Run.meta = b.Run.meta)
+
+(* --- round trip: recompute vs reload from disk --- *)
+
+let test_round_trip () =
+  with_cache (fun () ->
+      let c = config () in
+      let computed = Run.run_config c in
+      let _, _, writes = Cache.counters () in
+      Alcotest.(check int) "one write" 1 writes;
+      (* Drop the in-process memo: the only way back is the store. *)
+      Run.clear_cache ();
+      let before = Run.simulations () in
+      let reloaded = Run.run_config c in
+      Alcotest.(check int) "no recompute" before (Run.simulations ());
+      let hits, _, _ = Cache.counters () in
+      Alcotest.(check int) "one hit" 1 hits;
+      check_measurement_equal "round-trip" computed reloaded)
+
+(* --- keys are engine-agnostic: a measurement produced by one engine
+   serves every other --- *)
+
+let test_engine_agnostic () =
+  with_cache (fun () ->
+      let ref_m = Run.run_config (config ~engine:`Reference ()) in
+      Run.clear_cache ();
+      let before = Run.simulations () in
+      let fused_m = Run.run_config (config ~engine:`Fused ()) in
+      Alcotest.(check int) "served from store" before (Run.simulations ());
+      check_measurement_equal "cross-engine" ref_m fused_m)
+
+(* --- corrupt and truncated entries fall back to recompute --- *)
+
+let damaged_entry_recomputes what damage =
+  with_cache (fun () ->
+      let c = config () in
+      let computed = Run.run_config c in
+      damage (Cache.entry_path (Run.cache_key c));
+      Run.clear_cache ();
+      Cache.reset_counters ();
+      let before = Run.simulations () in
+      let recomputed = Run.run_config c in
+      Alcotest.(check int) (what ^ ": recomputed") (before + 1)
+        (Run.simulations ());
+      let hits, misses, writes = Cache.counters () in
+      Alcotest.(check int) (what ^ ": no hit") 0 hits;
+      Alcotest.(check int) (what ^ ": one miss") 1 misses;
+      Alcotest.(check int) (what ^ ": rewritten") 1 writes;
+      check_measurement_equal what computed recomputed)
+
+let overwrite path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let test_corrupt_entry () =
+  damaged_entry_recomputes "corrupt" (fun path ->
+      overwrite path "tagsim-cache 1\ncycles banana\nend\n")
+
+let test_truncated_entry () =
+  damaged_entry_recomputes "truncated" (fun path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic (n / 2) in
+      close_in ic;
+      overwrite path text)
+
+let test_stale_version_entry () =
+  damaged_entry_recomputes "stale-version" (fun path ->
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (* A payload whose header names another format version. *)
+      overwrite path
+        ("tagsim-cache v0-something-else"
+        ^ String.sub text (String.index text '\n')
+            (String.length text - String.index text '\n')))
+
+(* --- the key changes with every configuration axis --- *)
+
+let test_key_sensitivity () =
+  let key ?(sched = Sched.default) ?(scheme = Scheme.high5)
+      ?(support = Support.software) entry =
+    Cache.key ~sched ~scheme ~support entry
+  in
+  let base = key (inter ()) in
+  Alcotest.(check bool) "deterministic" true (base = key (inter ()));
+  Alcotest.(check bool) "scheme changes key" false
+    (base = key ~scheme:Scheme.low2 (inter ()));
+  Alcotest.(check bool) "support changes key" false
+    (base = key ~support:(Support.with_checking Support.software) (inter ()));
+  Alcotest.(check bool) "sched changes key" false
+    (base = key ~sched:Sched.off (inter ()));
+  Alcotest.(check bool) "program changes key" false
+    (base = key (B.find "deduce"));
+  (* deduce and dedgc share one source but differ in heap sizing: the
+     fingerprint (and so the key) must separate them. *)
+  Alcotest.(check bool) "sizes change key" false
+    (key (B.find "deduce") = key (B.find "dedgc"))
+
+(* --- disabled store is bypassed entirely --- *)
+
+let test_no_cache_bypass () =
+  with_cache (fun () ->
+      Cache.set_enabled false;
+      let c = config ~support:(Support.with_checking Support.software) () in
+      let before = Run.simulations () in
+      ignore (Run.run_config c);
+      Alcotest.(check int) "still simulates" (before + 1) (Run.simulations ());
+      Alcotest.(check (triple int int int)) "no cache traffic" (0, 0, 0)
+        (Cache.counters ());
+      Alcotest.(check bool) "no entry written" false
+        (Sys.file_exists (Cache.entry_path (Run.cache_key c))))
+
+(* --- the staged front end compiles to the same program --- *)
+
+let test_staged_pipeline () =
+  let entry = inter () in
+  let support = Support.with_checking Support.software in
+  let direct =
+    Program.compile ~sizes:entry.B.sizes ~scheme:Scheme.high5 ~support
+      entry.B.source
+  in
+  let fe = Program.analyze entry.B.source in
+  let staged =
+    Program.compile_frontend ~sizes:entry.B.sizes ~scheme:Scheme.high5
+      ~support fe
+  in
+  Alcotest.(check bool) "meta equal" true
+    (direct.Program.meta = staged.Program.meta);
+  (* One shared front end serves two configurations with different
+     emitted code but identical measured semantics. *)
+  let r1 = Program.run direct and r2 = Program.run staged in
+  Alcotest.(check bool) "stats equal" true
+    (Stats.equal r1.Program.stats r2.Program.stats);
+  let low =
+    Program.compile_frontend ~sizes:entry.B.sizes ~scheme:Scheme.low2 ~support
+      fe
+  in
+  let r3 = Program.run low in
+  Alcotest.(check bool) "low2 from same front end runs" true
+    (r3.Program.abort = None)
+
+let suite =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "round-trip" `Quick test_round_trip;
+        Alcotest.test_case "engine-agnostic" `Quick test_engine_agnostic;
+        Alcotest.test_case "corrupt-entry" `Quick test_corrupt_entry;
+        Alcotest.test_case "truncated-entry" `Quick test_truncated_entry;
+        Alcotest.test_case "stale-version" `Quick test_stale_version_entry;
+        Alcotest.test_case "key-sensitivity" `Quick test_key_sensitivity;
+        Alcotest.test_case "no-cache-bypass" `Quick test_no_cache_bypass;
+        Alcotest.test_case "staged-pipeline" `Quick test_staged_pipeline;
+      ] );
+  ]
