@@ -233,9 +233,14 @@ let profile_cmd =
    "cache:" and "simulations:" lines to assert a 100% hit rate. *)
 let print_run_summary () =
   let module Cache = Tagsim.Analysis.Cache in
+  let module Objcache = Tagsim.Objcache in
   let hits, misses, writes = Cache.counters () in
+  let ohits, omisses, owrites = Objcache.counters () in
   let compile_s, simulate_s, render_s =
     Tagsim.Analysis.Instrument.totals ()
+  in
+  let codegen_s, schedule_s, assemble_s, link_s =
+    Tagsim.Analysis.Instrument.backend_totals ()
   in
   Fmt.epr "== run summary ==@.";
   Fmt.epr "jobs: %d@." !Tagsim.Analysis.Pool.default_jobs;
@@ -243,9 +248,14 @@ let print_run_summary () =
     Fmt.epr "cache: %d hits, %d misses, %d writes (dir %s)@." hits misses
       writes (Cache.dir ())
   else Fmt.epr "cache: disabled@.";
+  Fmt.epr "objects: %d hits, %d misses, %d writes%s@." ohits omisses owrites
+    (if Objcache.enabled () then Fmt.str " (dir %s)" (Objcache.dir ())
+     else " (store disabled)");
   Fmt.epr "simulations: %d@." (Tagsim.Analysis.Run.simulations ());
   Fmt.epr "phases: compile %.2fs  simulate %.2fs  render %.2fs@." compile_s
-    simulate_s render_s
+    simulate_s render_s;
+  Fmt.epr "backend: codegen %.2fs  schedule %.2fs  assemble %.2fs  link %.2fs@."
+    codegen_s schedule_s assemble_s link_s
 
 let experiments_cmd =
   let module Spec = Tagsim.Analysis.Spec in
@@ -255,6 +265,10 @@ let experiments_cmd =
     Tagsim.Analysis.Pool.set_default_jobs jobs;
     Cache.set_dir cache_dir;
     Cache.set_enabled (not no_cache);
+    (* The object store lives beside the measurement store, under the
+       same directory and kill switch. *)
+    Tagsim.Objcache.set_dir (Filename.concat cache_dir "obj");
+    Tagsim.Objcache.set_enabled (not no_cache);
     let want name = only = [] || List.mem name only in
     (* One global plan: the union of the requested artifacts' matrices,
        deduplicated and fanned out once over the pool. *)

@@ -36,8 +36,15 @@ let time phase f =
 let totals () =
   Mutex.protect mutex (fun () -> (!compile_s, !simulate_s, !render_s))
 
+(** The backend's internal breakdown of the [Compile] phase — codegen,
+    per-unit scheduling, monolithic assembly, incremental linking —
+    re-exported from the compiler layer's accumulator so CLI reporting
+    has a single instrumentation entry point. *)
+let backend_totals () = Tagsim_compiler.Bphase.totals ()
+
 let reset () =
   Mutex.protect mutex (fun () ->
       compile_s := 0.0;
       simulate_s := 0.0;
-      render_s := 0.0)
+      render_s := 0.0);
+  Tagsim_compiler.Bphase.reset ()

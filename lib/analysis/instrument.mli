@@ -17,4 +17,10 @@ val time : phase -> (unit -> 'a) -> 'a
 (** [(compile, simulate, render)] seconds since start or {!reset}. *)
 val totals : unit -> float * float * float
 
+(** Backend breakdown of the [Compile] phase, re-exported from
+    {!Tagsim_compiler.Bphase}: [(codegen, schedule, assemble, link)]
+    seconds. *)
+val backend_totals : unit -> float * float * float * float
+
+(** Clears the pipeline totals and the backend breakdown. *)
 val reset : unit -> unit

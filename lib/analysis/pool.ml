@@ -30,6 +30,15 @@ let set_default_jobs jobs =
 let map ?jobs f items =
   let jobs = match jobs with Some j -> j | None -> !default_jobs in
   let jobs = if jobs <= 0 then recommended () else jobs in
+  match items with
+  (* Inline fast path: a strictly serial map, or a single task, gains
+     nothing from the counter/slot machinery — and a warm-cache run
+     whose misses all dedup away should not pay any pool overhead on
+     its (empty or singleton) remainder. *)
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f items
+  | _ ->
   let tasks = Array.of_list items in
   let n = Array.length tasks in
   let results = Array.make n None in

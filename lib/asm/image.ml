@@ -29,9 +29,12 @@ type t = {
    valid object address. *)
 let data_base = 64
 
-let assemble ?(sched = Sched.default) (buf : Buf.t) : t =
-  let fresh = Buf.fresh buf in
-  let items = Sched.run ~config:sched ~fresh (Buf.items buf) in
+(* Assemble an already-scheduled item stream and data directive list.
+   This is the linker's entry point: fragments are delay-slot-scheduled
+   per unit, concatenated, and must NOT be re-scheduled here (that would
+   add slots after slots). *)
+let of_items (items : Buf.item list)
+    (data : (string option * Buf.datum) list) : t =
   (* Pass 1a: code labels. *)
   let code_symbols = Hashtbl.create 256 in
   let n_insns =
@@ -76,7 +79,7 @@ let assemble ?(sched = Sched.default) (buf : Buf.t) : t =
           addr := !addr + 4
       | Buf.Space n -> addr := !addr + (4 * n)
       | Buf.Align _ -> ())
-    (Buf.data_items buf);
+    data;
   let data_end = !addr in
   let resolve_any l =
     match Hashtbl.find_opt data_symbols l with
@@ -117,11 +120,44 @@ let assemble ?(sched = Sched.default) (buf : Buf.t) : t =
         match v with
         | `Word w -> w
         | `Addr l -> resolve_any l
-        | `Tagged (l, f) -> f (resolve_any l)
+        | `Tagged (l, t) -> t.Buf.apply (resolve_any l)
       in
       data_words.(a / 4) <- w land Tagsim_mipsx.Word.mask)
     !layout;
   { code; code_symbols; data_symbols; data_words; data_end; source = items }
+
+let assemble ?(sched = Sched.default) (buf : Buf.t) : t =
+  let fresh = Buf.fresh buf in
+  let items = Sched.run ~config:sched ~fresh (Buf.items buf) in
+  of_items items (Buf.data_items buf)
+
+(* Byte-identity of two images: same resolved code entries, same initial
+   data image, same layout bound, and the same addresses for every named
+   (non-generated) symbol.  Generated labels — a ["$"]-suffix-digits fresh
+   label, possibly behind a link-time ["u<k>$"] prefix — may differ in
+   name between a monolithically assembled image and a linked one without
+   affecting a single resolved word, so they are excluded from the symbol
+   comparison. *)
+let is_generated_label l =
+  match String.rindex_opt l '$' with
+  | None -> false
+  | Some i ->
+      let n = String.length l in
+      i + 1 < n
+      &&
+      let rec digits j = j >= n || ('0' <= l.[j] && l.[j] <= '9' && digits (j + 1)) in
+      digits (i + 1)
+
+let equal a b =
+  let named_symbols tbl =
+    Hashtbl.fold
+      (fun l addr acc -> if is_generated_label l then acc else (l, addr) :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  a.code = b.code && a.data_words = b.data_words && a.data_end = b.data_end
+  && named_symbols a.code_symbols = named_symbols b.code_symbols
+  && named_symbols a.data_symbols = named_symbols b.data_symbols
 
 let code_address t l =
   match Hashtbl.find_opt t.code_symbols l with

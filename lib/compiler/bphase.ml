@@ -1,0 +1,45 @@
+(** Wall-clock accounting for the backend's internal phases, mirroring
+    the pipeline-level {!Tagsim_analysis.Instrument} (which re-exports
+    these totals): code generation, per-unit delay-slot scheduling,
+    monolithic assembly, and incremental linking.  The monolithic path
+    schedules inside {!Tagsim_asm.Image.assemble}, so its scheduling
+    time lands in [Assemble]; the incremental path charges [Schedule]
+    per unit and [Link] for layout plus relocation patching.  Workers on
+    any domain accumulate into the shared totals (mutex-protected; the
+    amounts are milliseconds-coarse, so one lock is irrelevant). *)
+
+type phase = Codegen | Schedule | Assemble | Link
+
+let now () = Unix.gettimeofday ()
+
+let mutex = Mutex.create ()
+let codegen_s = ref 0.0
+let schedule_s = ref 0.0
+let assemble_s = ref 0.0
+let link_s = ref 0.0
+
+let slot = function
+  | Codegen -> codegen_s
+  | Schedule -> schedule_s
+  | Assemble -> assemble_s
+  | Link -> link_s
+
+let add phase dt =
+  Mutex.protect mutex (fun () ->
+      let r = slot phase in
+      r := !r +. dt)
+
+let time phase f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> add phase (now () -. t0)) f
+
+let totals () =
+  Mutex.protect mutex (fun () ->
+      (!codegen_s, !schedule_s, !assemble_s, !link_s))
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      codegen_s := 0.0;
+      schedule_s := 0.0;
+      assemble_s := 0.0;
+      link_s := 0.0)

@@ -1,0 +1,20 @@
+(** Wall-clock accounting for the backend's internal phases — code
+    generation, per-unit delay-slot scheduling, monolithic assembly,
+    incremental linking — accumulated across all worker domains and
+    printed by the CLI under [--verbose] (via the pipeline-level
+    [Instrument], which re-exports these totals). *)
+
+type phase = Codegen | Schedule | Assemble | Link
+
+(** Accumulate [dt] seconds into a phase total (thread-safe). *)
+val add : phase -> float -> unit
+
+(** Run [f] and charge its wall-clock duration to [phase] (also on
+    exception). *)
+val time : phase -> (unit -> 'a) -> 'a
+
+(** [(codegen, schedule, assemble, link)] seconds since start or
+    {!reset}. *)
+val totals : unit -> float * float * float * float
+
+val reset : unit -> unit

@@ -168,6 +168,15 @@ let encode_const_int f n =
     errorf "integer literal %d out of range for scheme %s" n s.Scheme.name;
   Scheme.encode_int s n
 
+(* The tagged-datum transform for a pointer of type [ty] under the
+   function's scheme, with the serialisable type code the object cache
+   needs to rebuild it on reload. *)
+let tagger f ty =
+  {
+    Buf.ty_code = Scheme.ty_code ty;
+    apply = (fun a -> Scheme.encode_ptr (scheme f) ty a);
+  }
+
 (* Emit a quoted structure into static data; returns the item, either as a
    compile-time constant or as a data label to load through. *)
 let rec const_value f (c : Ast.const) :
@@ -185,9 +194,7 @@ let rec const_value f (c : Ast.const) :
       let emit_word ?label v =
         match v with
         | `Word w -> Buf.data ?label b (Buf.Word w)
-        | `Ref (l, ty) ->
-            Buf.data ?label b
-              (Buf.Tagged (l, fun a -> Scheme.encode_ptr (scheme f) ty a))
+        | `Ref (l, ty) -> Buf.data ?label b (Buf.Tagged (l, tagger f ty))
       in
       emit_word ~label:lbl car;
       emit_word cdr;
@@ -204,8 +211,7 @@ let load_const f d (c : Ast.const) =
           (* Load through a constant cell holding the tagged item. *)
           let b = f.ctx.Emit.b in
           let cell = fresh f "qc" in
-          Buf.data ~label:cell b
-            (Buf.Tagged (lbl, fun a -> Scheme.encode_ptr (scheme f) ty a));
+          Buf.data ~label:cell b (Buf.Tagged (lbl, tagger f ty));
           e_ f (Insn.La (rd, cell));
           e_ f (Insn.Ld (Insn.Plain, rd, rd, 0)))
 

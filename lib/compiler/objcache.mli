@@ -1,0 +1,101 @@
+(** Two-level content-addressed object cache for the incremental
+    backend.
+
+    A compilation unit (one Lisp function, the runtime routine group,
+    the startup stub) compiles to a relocatable object: its scheduled
+    {!Tagsim_asm.Link.fragment} plus the names it interned into the
+    symbol table.  Objects are memoised in-process (always on) and,
+    when {!enabled}, persisted as text files under {!dir} — keyed by a
+    digest of the unit's content, its symbol-table environment, the tag
+    scheme, the (projected) support configuration, the scheduler
+    configuration and the format {!version}.  Damaged or stale entries
+    are silent misses; see the implementation header for the full key
+    and robustness story. *)
+
+(** Format/semantics stamp baked into every key and entry header.  Bump
+    on any change to emitted code (code generation, runtime emission,
+    scheduling, ISA) or to the object format itself; code-changing
+    bumps pair with a [Cache.version] bump, format-only bumps do not. *)
+val version : string
+
+(** {1 Store configuration (L2; the in-process memo is always on)} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val dir : unit -> string
+val set_dir : string -> unit
+
+(** {1 Counters}  ([hits], [misses], [writes] — a hit is an object
+    served from either level; a write is a persisted store.) *)
+
+val counters : unit -> int * int * int
+val reset_counters : unit -> unit
+
+(** {1 Objects} *)
+
+type obj = {
+  o_frag : Tagsim_asm.Link.fragment;
+  o_interned : string list;
+      (** Names the unit's compilation interned, in intern order.
+          Replay (re-intern) after every {!find_or_build} so later
+          units see the same symbol-table whether the object was built
+          or cached; interning is idempotent, so replaying after a
+          fresh build is a no-op. *)
+}
+
+(** {1 Keys} *)
+
+(** Injective serialisation of a definition's post-expansion AST (name,
+    parameters, body). *)
+val def_fingerprint : Tagsim_lisp.Ast.def -> string
+
+(** Does the definition call an arithmetic primitive?  Only those
+    routes reach [Codegen.emit_arith], the sole reader of the
+    generic-arithmetic support flags. *)
+val def_uses_arith : Tagsim_lisp.Ast.def -> bool
+
+(** Token for the support axes the unit's code can depend on.  With
+    [~uses_arith:false] the generic-arithmetic flags are normalised
+    away, so support rows differing only there share the object.
+    Default [true] (the conservative full token — used for the startup
+    and runtime units). *)
+val support_token : ?uses_arith:bool -> Tagsim_tags.Support.t -> string
+
+(** Digest of the symbol-table environment a unit compiles against:
+    interned names in index order with their function marks, plus the
+    program's function-arity table. *)
+val env_fingerprint : Symtab.t -> (string, int) Hashtbl.t -> string
+
+(** Cache key (hex digest).  [kind] distinguishes unit flavours
+    (["fn"], ["rt"], ["startup"]); [fingerprint] is the unit's content
+    fingerprint; [env] the {!env_fingerprint}; [support_token] the
+    projected {!support_token}. *)
+val key :
+  kind:string ->
+  fingerprint:string ->
+  env:string ->
+  scheme:Tagsim_tags.Scheme.t ->
+  support_token:string ->
+  sched:Tagsim_asm.Sched.config ->
+  string
+
+(** {1 Lookup} *)
+
+(** Look the key up (memo, then disk when enabled); on a miss run
+    [build], memoise and persist its result.  [scheme] rebuilds the
+    encode closures of [Tagged] data loaded from disk. *)
+val find_or_build : scheme:Tagsim_tags.Scheme.t -> key:string -> build:(unit -> obj) -> obj
+
+(** Memoise a linked image under the ordered unit-key list of its
+    fragments (in-process only): a linked image is a pure function of
+    its unit keys, so a repeated configuration skips even the link. *)
+val find_image :
+  keys:string list -> build:(unit -> Tagsim_asm.Image.t) -> Tagsim_asm.Image.t
+
+(** Drop the in-process memos — per-unit objects and linked images
+    (cold-compile benchmarking/tests). *)
+val clear_memo : unit -> unit
+
+(** Delete all persisted objects (and stray temp files) under {!dir};
+    only files this module created are touched. *)
+val wipe : unit -> unit

@@ -11,6 +11,7 @@ module Reg = Tagsim_mipsx.Reg
 module Buf = Tagsim_asm.Buf
 module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
+module Link = Tagsim_asm.Link
 module Machine = Tagsim_sim.Machine
 module Predecode = Tagsim_sim.Predecode
 module Fuse = Tagsim_sim.Fuse
@@ -179,8 +180,103 @@ let analyze source : frontend =
     fe_source_lines = count_lines source + retained_prelude_lines;
   }
 
-let compile_frontend ?(sched = Sched.default) ?(sizes = L.default_sizes)
-    ?(mem_bytes = 1 lsl 22) ~scheme ~support (fe : frontend) : t =
+type backend = [ `Monolithic | `Incremental ]
+
+(* The monolithic backend: one buffer, whole-program scheduling inside
+   [Image.assemble].  Kept verbatim as the incremental backend's
+   differential oracle (see [test/suite_link.ml]). *)
+let backend_monolithic ~sched ~scheme ~support ~symtab ~funcs retained =
+  let buf = Buf.create () in
+  let ctx = { Emit.b = buf; scheme; support } in
+  Bphase.time Bphase.Codegen (fun () ->
+      Rt.emit_startup ctx ~main_label:(L.fn_label "main");
+      List.iter (fun (_, d) -> Codegen.compile_def ctx symtab funcs d) retained;
+      Rt.emit_routines ctx);
+  (* The symbol table must be the first static datum. *)
+  let final = Buf.create () in
+  Symtab.emit_data symtab scheme final;
+  Buf.append final buf;
+  Bphase.time Bphase.Assemble (fun () -> Image.assemble ~sched final)
+
+(* The incremental backend: one relocatable object per unit — startup
+   stub, each Lisp function, the runtime routine group — each emitted
+   into a private buffer and delay-slot-scheduled independently, then
+   linked.  Per-unit scheduling is exact, not approximate: every unit
+   starts with a label, and labels are scheduler barriers (both for
+   hoisting and for fall-through pulls), so concatenating
+   unit-scheduled streams yields the very stream whole-program
+   scheduling would produce; [Link.link] then resolves cross-unit
+   references.  Units come from the content-addressed {!Objcache}
+   whenever an identical unit (same content, symbol-table environment,
+   scheme, projected support, scheduler config) was compiled before —
+   in this process or, with the persistent store enabled, by an earlier
+   one.  Cache hits skip codegen and scheduling entirely; only the
+   cheap link pass remains. *)
+let backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained =
+  let build_unit emit =
+    let before = Symtab.count symtab in
+    let buf = Buf.create () in
+    let ctx = { Emit.b = buf; scheme; support } in
+    Bphase.time Bphase.Codegen (fun () -> emit ctx);
+    let frag =
+      Bphase.time Bphase.Schedule (fun () -> Link.fragment_of_buf ~sched buf)
+    in
+    { Objcache.o_frag = frag; o_interned = Symtab.names_from symtab before }
+  in
+  (* The environment fingerprint is taken at the unit's start, and the
+     unit's intern effect is replayed after every lookup (idempotent
+     when the build just performed it), so the symbol table evolves
+     identically on hits and misses and later units key against the
+     same environment either way. *)
+  let cached ~kind ~fingerprint ~support_token emit =
+    let env = Objcache.env_fingerprint symtab funcs in
+    let k =
+      Objcache.key ~kind ~fingerprint ~env ~scheme ~support_token ~sched
+    in
+    let o = Objcache.find_or_build ~scheme ~key:k ~build:(fun () -> build_unit emit) in
+    List.iter (fun s -> ignore (Symtab.intern symtab s)) o.Objcache.o_interned;
+    (k, o.Objcache.o_frag)
+  in
+  let full_token = Objcache.support_token support in
+  let startup =
+    cached ~kind:"startup" ~fingerprint:(L.fn_label "main")
+      ~support_token:full_token (fun ctx ->
+        Rt.emit_startup ctx ~main_label:(L.fn_label "main"))
+  in
+  let fn_frags =
+    List.map
+      (fun (_, d) ->
+        cached ~kind:"fn" ~fingerprint:(Objcache.def_fingerprint d)
+          ~support_token:
+            (Objcache.support_token ~uses_arith:(Objcache.def_uses_arith d)
+               support)
+          (fun ctx -> Codegen.compile_def ctx symtab funcs d))
+      retained
+  in
+  let rt = cached ~kind:"rt" ~fingerprint:"routines" ~support_token:full_token
+      Rt.emit_routines
+  in
+  let keys, frags =
+    List.split ((startup :: fn_frags) @ [ rt ])
+  in
+  (* The whole linked image is memoised under the ordered unit-key
+     list: a configuration seen before (the steady state of a matrix
+     run) skips even the link.  On a miss, the symbol-table block —
+     pure data derived from the final table, trivially re-emitted, so
+     never cached itself — leads the layout (code starts with the
+     startup unit, since the block has no code): the table stays the
+     first static datum, at [L.symtab_base]. *)
+  Objcache.find_image ~keys ~build:(fun () ->
+      let symtab_frag =
+        let b = Buf.create () in
+        Symtab.emit_data symtab scheme b;
+        Link.fragment_of_buf ~sched b
+      in
+      Bphase.time Bphase.Link (fun () -> Link.link (symtab_frag :: frags)))
+
+let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
+    ?(sizes = L.default_sizes) ?(mem_bytes = 1 lsl 22) ~scheme ~support
+    (fe : frontend) : t =
   let retained = fe.fe_retained in
   (* 3. Compile. *)
   let symtab = Symtab.with_builtins () in
@@ -191,16 +287,13 @@ let compile_frontend ?(sched = Sched.default) ?(sizes = L.default_sizes)
       Symtab.mark_function symtab n;
       ignore (Symtab.intern symtab n))
     retained;
-  let buf = Buf.create () in
-  let ctx = { Emit.b = buf; scheme; support } in
-  Rt.emit_startup ctx ~main_label:(L.fn_label "main");
-  List.iter (fun (_, d) -> Codegen.compile_def ctx symtab funcs d) retained;
-  Rt.emit_routines ctx;
-  (* 4. The symbol table must be the first static datum. *)
-  let final = Buf.create () in
-  Symtab.emit_data symtab scheme final;
-  Buf.append final buf;
-  let image = Image.assemble ~sched final in
+  let image =
+    match backend with
+    | `Monolithic ->
+        backend_monolithic ~sched ~scheme ~support ~symtab ~funcs retained
+    | `Incremental ->
+        backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained
+  in
   assert (Image.data_address image L.l_symtab = L.symtab_base);
   (* 5. Metadata for Table 3. *)
   let meta =
@@ -222,8 +315,9 @@ let compile_frontend ?(sched = Sched.default) ?(sizes = L.default_sizes)
     blocks_cache = [||];
   }
 
-let compile ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
-  compile_frontend ?sched ?sizes ?mem_bytes ~scheme ~support (analyze source)
+let compile ?backend ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
+  compile_frontend ?backend ?sched ?sizes ?mem_bytes ~scheme ~support
+    (analyze source)
 
 (* --- Loading and running. --- *)
 

@@ -55,8 +55,19 @@ type frontend = {
     raises {!Error} on malformed sources. *)
 val analyze : string -> frontend
 
-(** The config-dependent back half: codegen, scheduling, assembly. *)
+(** Backend selection.  [`Incremental] (the default) compiles one
+    relocatable object per unit — startup stub, each function, the
+    runtime group — schedules each independently, consults the
+    content-addressed {!Objcache}, and links with
+    {!Tagsim_asm.Link.link}; [`Monolithic] is the original
+    single-buffer whole-program path, kept as the differential oracle.
+    Both produce byte-identical images ({!Tagsim_asm.Image.equal}). *)
+type backend = [ `Monolithic | `Incremental ]
+
+(** The config-dependent back half: codegen, scheduling, linking (or,
+    for the monolithic backend, whole-program assembly). *)
 val compile_frontend :
+  ?backend:backend ->
   ?sched:Sched.config ->
   ?sizes:L.sizes ->
   ?mem_bytes:int ->
@@ -67,6 +78,7 @@ val compile_frontend :
 
 (** [compile_frontend] of [analyze]: the one-shot pipeline. *)
 val compile :
+  ?backend:backend ->
   ?sched:Sched.config ->
   ?sizes:L.sizes ->
   ?mem_bytes:int ->

@@ -14,8 +14,15 @@ val intern : t -> string -> int
     hold the code address). *)
 val mark_function : t -> string -> unit
 
+(** Does the symbol name a compiled function? *)
+val is_function : t -> string -> bool
+
 val count : t -> int
 val names : t -> string list
+
+(** Names interned at index [from] or later, in intern order (the
+    intern effect of a compilation unit). *)
+val names_from : t -> int -> string list
 val name_of : t -> int -> string
 val find_opt : t -> string -> int option
 

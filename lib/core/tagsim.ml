@@ -25,6 +25,7 @@ module Insn = Tagsim_mipsx.Insn
 module Buf = Tagsim_asm.Buf
 module Sched = Tagsim_asm.Sched
 module Image = Tagsim_asm.Image
+module Link = Tagsim_asm.Link
 module Machine = Tagsim_sim.Machine
 module Predecode = Tagsim_sim.Predecode
 module Fuse = Tagsim_sim.Fuse
@@ -39,6 +40,7 @@ module Emit = Tagsim_runtime.Emit
 module Rt = Tagsim_runtime.Rt
 module Symtab = Tagsim_compiler.Symtab
 module Codegen = Tagsim_compiler.Codegen
+module Objcache = Tagsim_compiler.Objcache
 module Prelude = Tagsim_compiler.Prelude
 module Program = Tagsim_compiler.Program
 module Oracle = Tagsim_compiler.Oracle

@@ -8,8 +8,13 @@ let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
 (* Atomic: expansions may run concurrently in the experiment pool's
    worker domains, and generated names must stay unique within a
-   program. *)
+   program.  [program] additionally resets the counter (under a lock
+   serialising whole-program expansions), so expanding the same source
+   always yields the identical AST — names generated for a definition
+   are part of its content-addressed object-cache fingerprint, which
+   must be reproducible both within a process and across processes. *)
 let gensym_counter = Atomic.make 0
+let program_mutex = Mutex.create ()
 
 let gensym prefix =
   Printf.sprintf "%%%s%d" prefix (Atomic.fetch_and_add gensym_counter 1 + 1)
@@ -252,7 +257,11 @@ let definition (s : Sexp.t) : Ast.def =
       { Ast.name; params; body = body_exprs body }
   | _ -> errorf "expected (de name (params) body...), got %s" (Sexp.to_string s)
 
-(** Parse and expand a whole program: a sequence of [de] forms. *)
+(** Parse and expand a whole program: a sequence of [de] forms.
+    Deterministic: generated names restart from a fixed origin, so the
+    same source expands to the same AST in every process. *)
 let program src : Ast.def list =
-  let forms = Sexp.parse_all src in
-  List.map definition forms
+  Mutex.protect program_mutex (fun () ->
+      Atomic.set gensym_counter 0;
+      let forms = Sexp.parse_all src in
+      List.map definition forms)
