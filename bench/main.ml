@@ -114,20 +114,27 @@ let benchmark () =
         (analyze_one test))
     tests
 
-(* --- Phase 3: engine throughput, reference vs predecoded vs fused. ---
+(* --- Phase 3: engine throughput, reference vs predecoded vs fused vs
+   traced. ---
 
-   Pre-compiled programs (boyer and trav, full checking: software type
-   checks, generic-arithmetic traps and the GC) simulated under each
-   engine.  All engines produce bit-identical statistics
-   (test/suite_engines.ml), so any wall-clock gap is pure dispatch and
-   accounting overhead.  Reported as simulated MIPS — retired simulated
-   instructions per wall-clock second — and recorded in
-   BENCH_engines.json alongside the fused/predecoded speedup. *)
+   Every registry program (full checking: software type checks,
+   generic-arithmetic traps and the GC), pre-compiled once and
+   simulated under each engine.  All engines produce bit-identical
+   statistics (test/suite_engines.ml), so any wall-clock gap is pure
+   dispatch and accounting overhead.  Reported as simulated MIPS —
+   retired simulated instructions per wall-clock second — and recorded
+   in BENCH_engines.json alongside the fused/predecoded and
+   traced/fused speedups. *)
 
-let engine_programs = [ "boyer"; "trav" ]
+let engine_programs =
+  List.map
+    (fun (e : Tagsim.Benchmarks.entry) -> e.Tagsim.Benchmarks.name)
+    (Tagsim.Benchmarks.all ())
 
 let engines =
-  [ (`Reference, "reference"); (`Predecoded, "predecoded"); (`Fused, "fused") ]
+  List.map
+    (fun e -> (e, Tagsim.Machine.engine_name e))
+    Tagsim.Machine.engine_all
 
 let prepare_program name =
   let entry = Tagsim.Benchmarks.find name in
@@ -139,22 +146,14 @@ let prepare_program name =
   assert (result.Tagsim.Program.abort = None);
   (program, Tagsim.Stats.executed_insns result.Tagsim.Program.stats)
 
-(* ns/run for one engine on one pre-compiled program: best of three
-   independent OLS estimates, since throughput ratios are what phase 3
-   reports and a single estimate is at the mercy of scheduler noise. *)
-let measure_engine program engine ename =
-  let once () =
-    let test =
-      Test.make ~name:ename
-        (Staged.stage (fun () -> ignore (Tagsim.Program.run ~engine program)))
-    in
-    match analyze_one test with (_, ns) :: _ -> ns | [] -> None
+(* One OLS ns/run estimate for one engine on one pre-compiled
+   program. *)
+let estimate_engine program engine ename =
+  let test =
+    Test.make ~name:ename
+      (Staged.stage (fun () -> ignore (Tagsim.Program.run ~engine program)))
   in
-  List.filter_map (fun f -> f ()) [ once; once; once ]
-  |> List.fold_left
-       (fun best ns ->
-         match best with Some b when b <= ns -> best | _ -> Some ns)
-       None
+  match analyze_one test with (_, ns) :: _ -> ns | [] -> None
 
 type engine_run = { e_name : string; ns : float; mips : float }
 
@@ -163,9 +162,26 @@ let engine_benchmark () =
     List.map
       (fun pname ->
         let program, insns = prepare_program pname in
+        (* Best of three independent OLS estimates per engine, taken in
+           interleaved rounds (every engine once per round) so slow
+           drift — thermal, frequency scaling, background load — hits
+           every engine alike instead of whichever happens to be
+           measured last. *)
+        let best = Hashtbl.create 8 in
+        for _round = 1 to 3 do
+          List.iter
+            (fun (engine, ename) ->
+              match estimate_engine program engine ename with
+              | Some ns -> (
+                  match Hashtbl.find_opt best ename with
+                  | Some b when b <= ns -> ()
+                  | _ -> Hashtbl.replace best ename ns)
+              | None -> ())
+            engines
+        done;
         let runs =
           List.filter_map
-            (fun (engine, ename) ->
+            (fun (_, ename) ->
               Option.map
                 (fun ns ->
                   {
@@ -173,7 +189,7 @@ let engine_benchmark () =
                     ns;
                     mips = float_of_int insns *. 1e3 /. ns;
                   })
-                (measure_engine program engine ename))
+                (Hashtbl.find_opt best ename))
             engines
         in
         (pname, insns, runs))
@@ -214,6 +230,10 @@ let engine_benchmark () =
       (match (mips_of runs "fused", mips_of runs "predecoded") with
       | Some f, Some p when p > 0.0 ->
           out ",\n      \"fused_over_predecoded\": %.2f" (f /. p)
+      | _ -> ());
+      (match (mips_of runs "traced", mips_of runs "fused") with
+      | Some t, Some f when f > 0.0 ->
+          out ",\n      \"traced_over_fused\": %.2f" (t /. f)
       | _ -> ());
       out "\n    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;

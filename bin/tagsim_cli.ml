@@ -49,29 +49,29 @@ let semi =
     & info [ "semi" ] ~docv:"BYTES" ~doc:"Semispace size in bytes.")
 
 let engine_arg =
-  let parse = function
-    | "reference" -> Ok `Reference
-    | "predecoded" -> Ok `Predecoded
-    | "fused" -> Ok `Fused
-    | other -> Error (`Msg ("unknown engine: " ^ other))
+  let parse s =
+    match Tagsim.Machine.engine_by_name s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+             (Fmt.str "unknown engine: %s (valid engines: %s)" s
+                (String.concat ", "
+                   (List.map Tagsim.Machine.engine_name
+                      Tagsim.Machine.engine_all))))
   in
-  let print ppf (e : Tagsim.Machine.engine) =
-    Fmt.string ppf
-      (match e with
-      | `Reference -> "reference"
-      | `Predecoded -> "predecoded"
-      | `Fused -> "fused")
-  in
+  let print ppf e = Fmt.string ppf (Tagsim.Machine.engine_name e) in
   Arg.(
     value
-    & opt (conv (parse, print)) `Fused
+    & opt (conv (parse, print)) `Traced
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Simulator engine: $(b,fused) (default; basic-block fused \
-           closures with direct chaining), $(b,predecoded) \
-           (per-instruction pre-compiled closures) or $(b,reference) \
-           (the re-decoding interpreter).  All produce bit-identical \
-           statistics.")
+          "Simulator engine: $(b,traced) (default; profile-guided \
+           superblock traces over fused blocks), $(b,fused) \
+           (basic-block fused closures with direct chaining), \
+           $(b,predecoded) (per-instruction pre-compiled closures) or \
+           $(b,reference) (the re-decoding interpreter).  All produce \
+           bit-identical statistics.")
 
 let jobs =
   Arg.(
@@ -255,7 +255,17 @@ let print_run_summary () =
   Fmt.epr "phases: compile %.2fs  simulate %.2fs  render %.2fs@." compile_s
     simulate_s render_s;
   Fmt.epr "backend: codegen %.2fs  schedule %.2fs  assemble %.2fs  link %.2fs@."
-    codegen_s schedule_s assemble_s link_s
+    codegen_s schedule_s assemble_s link_s;
+  let tt = Tagsim.Analysis.Instrument.trace_totals () in
+  let pct part whole =
+    if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+  in
+  Fmt.epr
+    "traces: %d formed, %d entered, side-exit rate %.2f%%, %.1f%% of \
+     instructions retired in traces@."
+    tt.Tagsim.Machine.tt_formed tt.Tagsim.Machine.tt_entries
+    (pct tt.Tagsim.Machine.tt_side_exits tt.Tagsim.Machine.tt_entries)
+    (pct tt.Tagsim.Machine.tt_in_trace tt.Tagsim.Machine.tt_retired)
 
 let experiments_cmd =
   let module Spec = Tagsim.Analysis.Spec in

@@ -42,9 +42,16 @@ let totals () =
     has a single instrumentation entry point. *)
 let backend_totals () = Tagsim_compiler.Bphase.totals ()
 
+(** The traced engine's tier-2 counters — traces formed, trace entries,
+    side exits, instructions retired inside traces, total retired —
+    re-exported from the simulator layer so CLI reporting has a single
+    instrumentation entry point. *)
+let trace_totals () = Tagsim_sim.Machine.trace_counters ()
+
 let reset () =
   Mutex.protect mutex (fun () ->
       compile_s := 0.0;
       simulate_s := 0.0;
       render_s := 0.0);
-  Tagsim_compiler.Bphase.reset ()
+  Tagsim_compiler.Bphase.reset ();
+  Tagsim_sim.Machine.reset_trace_counters ()

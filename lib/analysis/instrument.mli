@@ -22,5 +22,10 @@ val totals : unit -> float * float * float
     seconds. *)
 val backend_totals : unit -> float * float * float * float
 
-(** Clears the pipeline totals and the backend breakdown. *)
+(** The traced engine's superblock counters, re-exported from
+    {!Tagsim_sim.Machine.trace_counters}. *)
+val trace_totals : unit -> Tagsim_sim.Machine.trace_totals
+
+(** Clears the pipeline totals, the backend breakdown and the trace
+    counters. *)
 val reset : unit -> unit

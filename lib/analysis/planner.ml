@@ -30,8 +30,8 @@ let find name = List.find_opt (fun a -> a.Spec.a_name = name) artifacts
     requested artifacts' matrices, then render each artifact from the
     shared store.  [entries] restricts the benchmark suite (tests);
     [engine] selects the simulator engine for the whole plan (default
-    [`Fused]); [jobs] defaults to {!Pool.default_jobs}. *)
-let plan ?jobs ?(engine = `Fused) ?entries (requested : Spec.artifact list) =
+    [`Traced]); [jobs] defaults to {!Pool.default_jobs}. *)
+let plan ?jobs ?(engine = `Traced) ?entries (requested : Spec.artifact list) =
   let entries =
     match entries with Some es -> es | None -> Run.all_entries ()
   in

@@ -18,7 +18,7 @@ val find : string -> Spec.artifact option
     requested artifacts' matrices, then render each from the shared
     store (results in request order).  [entries] restricts the benchmark
     suite (defaults to the full registry); [engine] selects the
-    simulator engine for the whole plan (default [`Fused], numerically
+    simulator engine for the whole plan (default [`Traced], numerically
     irrelevant); [jobs] defaults to {!Pool.default_jobs}. *)
 val plan :
   ?jobs:int ->

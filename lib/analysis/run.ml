@@ -98,7 +98,8 @@ let config_key c =
   (match c.c_engine with
   | `Reference -> "ref"
   | `Predecoded -> "pre"
-  | `Fused -> "fus")
+  | `Fused -> "fus"
+  | `Traced -> "tra")
   ^ "/" ^ matrix_key c
 
 (* The persistent-store key of a configuration: engine-agnostic, like
@@ -190,7 +191,7 @@ let compute_config c =
 let run_config c =
   match lookup_cached c with Some m -> m | None -> compute_config c
 
-let config ?(sched = Sched.default) ?(engine = `Fused) ~scheme ~support entry =
+let config ?(sched = Sched.default) ?(engine = `Traced) ~scheme ~support entry =
   {
     c_sched = sched;
     c_scheme = scheme;

@@ -70,7 +70,7 @@ val run :
   Registry.entry ->
   measurement
 
-(** Build a configuration; [engine] defaults to [`Fused]. *)
+(** Build a configuration; [engine] defaults to [`Traced]. *)
 val config :
   ?sched:Sched.config ->
   ?engine:Machine.engine ->

@@ -15,6 +15,7 @@ module Link = Tagsim_asm.Link
 module Machine = Tagsim_sim.Machine
 module Predecode = Tagsim_sim.Predecode
 module Fuse = Tagsim_sim.Fuse
+module Trace = Tagsim_sim.Trace
 module Stats = Tagsim_sim.Stats
 module Scheme = Tagsim_tags.Scheme
 module Support = Tagsim_tags.Support
@@ -117,6 +118,10 @@ type t = {
      in [Predecode.attach]. *)
   mutable exec_cache : Machine.exec_fn array;
   mutable blocks_cache : Machine.block option array;
+  mutable tstate_cache : Machine.tstate option;
+      (* the traced engine's heat/edge profile and formed traces,
+         likewise shared across machines so traces learned by one run
+         serve the next *)
 }
 
 let count_lines src =
@@ -313,6 +318,7 @@ let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
     meta;
     exec_cache = [||];
     blocks_cache = [||];
+    tstate_cache = None;
   }
 
 let compile ?backend ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
@@ -397,7 +403,7 @@ let abort_message code =
   else if code = Machine.err_div0 then "division by zero"
   else Printf.sprintf "abort %d" code
 
-let load ?fuel ?(engine = `Fused) t =
+let load ?fuel ?(engine = `Traced) t =
   let hw = Scheme.machine_hw ~mem_bytes:t.mem_bytes t.scheme in
   let m = Machine.create ?fuel ~engine ~hw t.image in
   let code_len = Array.length t.image.Image.code in
@@ -419,7 +425,20 @@ let load ?fuel ?(engine = `Fused) t =
         Fuse.attach m;
         t.exec_cache <- m.Machine.exec;
         t.blocks_cache <- m.Machine.blocks
-      end);
+      end
+  | `Traced ->
+      if Array.length t.exec_cache = code_len then
+        m.Machine.exec <- t.exec_cache;
+      if Array.length t.blocks_cache = code_len then
+        m.Machine.blocks <- t.blocks_cache;
+      (match t.tstate_cache with
+      | Some ts when Array.length ts.Machine.ts_traces = code_len ->
+          m.Machine.tstate <- Some ts
+      | _ -> ());
+      Trace.attach m;
+      t.exec_cache <- m.Machine.exec;
+      t.blocks_cache <- m.Machine.blocks;
+      t.tstate_cache <- m.Machine.tstate);
   let map =
     L.compute_map ~data_end:t.image.Image.data_end ~sizes:t.sizes
       ~mem_bytes:t.mem_bytes

@@ -33,6 +33,7 @@ type t = {
      image and hardware configuration, never a machine). *)
   mutable exec_cache : Machine.exec_fn array;
   mutable blocks_cache : Machine.block option array;
+  mutable tstate_cache : Machine.tstate option;
 }
 
 (** {1 Staged pipeline}
@@ -116,7 +117,7 @@ val abort_message : int -> string
 
 (** Create a machine, poke the memory-map words and register the trap
     handlers; ready to run from address 0.  [engine] selects the
-    simulator engine (default [`Fused], the fast path; all engines
+    simulator engine (default [`Traced], the fast path; all engines
     produce bit-identical statistics). *)
 val load : ?fuel:int -> ?engine:Machine.engine -> t -> Machine.t * L.map
 

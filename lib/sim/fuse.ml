@@ -70,6 +70,7 @@ type acc = {
   mutable a_cycles : int;
   mutable a_insns : int;
   mutable a_interlocks : int;
+  mutable a_squashed : int;
   a_kind : int array; (* n_kind_slots *)
   a_klass : int array; (* n_klass_slots *)
 }
@@ -79,6 +80,7 @@ let acc_create () =
     a_cycles = 0;
     a_insns = 0;
     a_interlocks = 0;
+    a_squashed = 0;
     a_kind = Array.make n_kind_slots 0;
     a_klass = Array.make n_klass_slots 0;
   }
@@ -87,6 +89,7 @@ let acc_add dst src =
   dst.a_cycles <- dst.a_cycles + src.a_cycles;
   dst.a_insns <- dst.a_insns + src.a_insns;
   dst.a_interlocks <- dst.a_interlocks + src.a_interlocks;
+  dst.a_squashed <- dst.a_squashed + src.a_squashed;
   Array.iteri (fun i v -> dst.a_kind.(i) <- dst.a_kind.(i) + v) src.a_kind;
   Array.iteri (fun i v -> dst.a_klass.(i) <- dst.a_klass.(i) + v) src.a_klass
 
@@ -107,12 +110,21 @@ let acc_interlock a =
   a.a_insns <- a.a_insns + 1;
   a.a_klass.(nop_klass) <- a.a_klass.(nop_klass) + 1
 
+(* Mirrors the reference's squashed-slot accounting: two annulled slot
+   cycles charged to the branch's own annotation slot.  Used by the
+   trace compiler when the expected path falls through a squashing
+   branch, making the annul statically known. *)
+let acc_squash a si =
+  a.a_cycles <- a.a_cycles + 2;
+  a.a_squashed <- a.a_squashed + 2;
+  a.a_kind.(si) <- a.a_kind.(si) + 2
+
 (** A pre-summed statistics delta, flattened into one int array so that
-    applying it is a single linear sweep: [0..2] hold the cycle,
-    instruction and interlock totals, [3] holds the index just past the
-    kind-counter pairs, and the rest are sparse (index, amount) pairs —
-    kind-cycle pairs first, class-count pairs after — because a block
-    typically touches a handful of the counter slots. *)
+    applying it is a single linear sweep: [0..3] hold the cycle,
+    instruction, interlock and squashed-slot totals, [4] holds the index
+    just past the kind-counter pairs, and the rest are sparse (index,
+    amount) pairs — kind-cycle pairs first, class-count pairs after —
+    because a block typically touches a handful of the counter slots. *)
 type delta = int array
 
 let sparse arr =
@@ -122,9 +134,11 @@ let sparse arr =
 
 let compress a : delta =
   let kind = sparse a.a_kind and klass = sparse a.a_klass in
-  let kind_end = 4 + List.length kind in
+  let kind_end = 5 + List.length kind in
   Array.of_list
-    (a.a_cycles :: a.a_insns :: a.a_interlocks :: kind_end :: kind @ klass)
+    (a.a_cycles :: a.a_insns :: a.a_interlocks :: a.a_squashed :: kind_end
+    :: kind
+    @ klass)
 
 (* The sparse indices come from [Stats.slot]/[Insn.klass_index] by
    construction, so the unchecked accesses below cannot go wrong. *)
@@ -132,9 +146,10 @@ let delta_apply (s : Stats.t) (d : delta) =
   s.Stats.cycles <- s.Stats.cycles + Array.unsafe_get d 0;
   s.Stats.insns <- s.Stats.insns + Array.unsafe_get d 1;
   s.Stats.interlocks <- s.Stats.interlocks + Array.unsafe_get d 2;
-  let kind_end = Array.unsafe_get d 3 in
+  s.Stats.squashed <- s.Stats.squashed + Array.unsafe_get d 3;
+  let kind_end = Array.unsafe_get d 4 in
   let kc = s.Stats.kind_cycles in
-  let i = ref 4 in
+  let i = ref 5 in
   while !i < kind_end do
     let idx = Array.unsafe_get d !i in
     Array.unsafe_set kc idx
@@ -154,9 +169,10 @@ let delta_undo (s : Stats.t) (d : delta) =
   s.Stats.cycles <- s.Stats.cycles - Array.unsafe_get d 0;
   s.Stats.insns <- s.Stats.insns - Array.unsafe_get d 1;
   s.Stats.interlocks <- s.Stats.interlocks - Array.unsafe_get d 2;
-  let kind_end = Array.unsafe_get d 3 in
+  s.Stats.squashed <- s.Stats.squashed - Array.unsafe_get d 3;
+  let kind_end = Array.unsafe_get d 4 in
   let kc = s.Stats.kind_cycles in
-  let i = ref 4 in
+  let i = ref 5 in
   while !i < kind_end do
     let idx = Array.unsafe_get d !i in
     Array.unsafe_set kc idx
@@ -179,11 +195,13 @@ let delta_undo (s : Stats.t) (d : delta) =
    to it.  The indices are trusted for the same reason as above. *)
 let apply_fn (d : delta) : Stats.t -> unit =
   let dc = d.(0) and di = d.(1) and dl = d.(2) in
-  let ke = d.(3) in
+  let ke = d.(4) in
   let n = Array.length d in
-  match (ke - 4, n - ke) with
+  if d.(3) <> 0 then fun s -> delta_apply s d
+  else
+    match (ke - 5, n - ke) with
   | 2, 2 ->
-      let i1 = d.(4) and v1 = d.(5) in
+      let i1 = d.(5) and v1 = d.(6) in
       let j1 = d.(ke) and w1 = d.(ke + 1) in
       fun s ->
         s.Stats.cycles <- s.Stats.cycles + dc;
@@ -193,7 +211,7 @@ let apply_fn (d : delta) : Stats.t -> unit =
         Array.unsafe_set kc i1 (Array.unsafe_get kc i1 + v1);
         Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1)
   | 4, 2 ->
-      let i1 = d.(4) and v1 = d.(5) and i2 = d.(6) and v2 = d.(7) in
+      let i1 = d.(5) and v1 = d.(6) and i2 = d.(7) and v2 = d.(8) in
       let j1 = d.(ke) and w1 = d.(ke + 1) in
       fun s ->
         s.Stats.cycles <- s.Stats.cycles + dc;
@@ -204,7 +222,7 @@ let apply_fn (d : delta) : Stats.t -> unit =
         Array.unsafe_set kc i2 (Array.unsafe_get kc i2 + v2);
         Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1)
   | 2, 4 ->
-      let i1 = d.(4) and v1 = d.(5) in
+      let i1 = d.(5) and v1 = d.(6) in
       let j1 = d.(ke) and w1 = d.(ke + 1) in
       let j2 = d.(ke + 2) and w2 = d.(ke + 3) in
       fun s ->
@@ -216,7 +234,7 @@ let apply_fn (d : delta) : Stats.t -> unit =
         Array.unsafe_set ki j1 (Array.unsafe_get ki j1 + w1);
         Array.unsafe_set ki j2 (Array.unsafe_get ki j2 + w2)
   | 4, 4 ->
-      let i1 = d.(4) and v1 = d.(5) and i2 = d.(6) and v2 = d.(7) in
+      let i1 = d.(5) and v1 = d.(6) and i2 = d.(7) and v2 = d.(8) in
       let j1 = d.(ke) and w1 = d.(ke + 1) in
       let j2 = d.(ke + 2) and w2 = d.(ke + 3) in
       fun s ->
@@ -261,6 +279,13 @@ let exit_pl_of (insn : int Insn.t) =
 
 (* --- Block construction. --- *)
 
+let squash_of (e : Image.entry) =
+  match e.Image.insn with
+  | Insn.B (b, _) -> b.Insn.squash
+  | Insn.Bi (b, _) -> b.Insn.bi_squash
+  | Insn.Btag (b, _) -> b.Insn.bt_squash
+  | _ -> false
+
 type terminator = Ctl of int * Image.entry | Fall of int
 
 (* How the terminator's two delay slots are handled: [No_slots] for the
@@ -270,6 +295,46 @@ type terminator = Ctl of int * Image.entry | Fall of int
    end of code) — then the slots execute through the per-instruction
    pre-decoded closures with the [in_slot] protocol intact. *)
 type ctl_slots = No_slots | Fused of Image.entry * Image.entry | Dynamic
+
+(* The static layout of the block led by an address: where the
+   straight-line run stops, its terminator (if it does not fall off the
+   end of code), and how the terminator's delay slots behave.  Shared
+   with the trace compiler, which walks block shapes along the hot path
+   instead of re-deriving them. *)
+type shape = {
+  sh_stop : int; (* first control instruction at/after the leader *)
+  sh_term : Image.entry option; (* None: the block falls off code *)
+  sh_slots : ctl_slots;
+  sh_squash : bool;
+}
+
+let shape (m : M.t) l =
+  let code = m.M.code in
+  let n = Array.length code in
+  let rec scan j =
+    if j >= n || Insn.is_control code.(j).Image.insn then j else scan (j + 1)
+  in
+  let stop = scan l in
+  let term = if stop < n then Some code.(stop) else None in
+  let slots =
+    match term with
+    | Some e -> (
+        match e.Image.insn with
+        | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _
+        | Insn.Jr _ | Insn.Jalr _ ->
+            let fusible (se : Image.entry) =
+              match se.Image.insn with
+              | Insn.Add_gen _ | Insn.Sub_gen _ -> false
+              | i -> not (Insn.is_control i)
+            in
+            if stop + 2 < n && fusible code.(stop + 1) && fusible code.(stop + 2)
+            then Fused (code.(stop + 1), code.(stop + 2))
+            else Dynamic
+        | _ -> No_slots)
+    | None -> No_slots
+  in
+  let squash = match term with Some e -> squash_of e | None -> false in
+  { sh_stop = stop; sh_term = term; sh_slots = slots; sh_squash = squash }
 
 let leaders (m : M.t) =
   let code = m.M.code in
@@ -327,9 +392,10 @@ let effective_fn (hw : M.hw) (e : Image.entry) p (mode : Insn.mem_mode) off =
         if Word.field ~shift ~width base <> expected then -1
         else Word.sub (Word.add base offw) exp_shifted land mem_mask
 
-(* The statically-knowable statistics of one simple instruction: its
-   count, its cycle charge when the charge is unconditional on the
-   success path, and the load-use interlock with its predecessor. *)
+(* The statically-knowable statistics of one instruction: its count,
+   its cycle charge when the charge is unconditional on the success
+   path (control instructions issue in one cycle), and the load-use
+   interlock with its predecessor. *)
 let contribution (prev : Image.entry option) (e : Image.entry) =
   let insn = e.Image.insn in
   let si = Stats.slot e.Image.annot in
@@ -344,11 +410,10 @@ let contribution (prev : Image.entry option) (e : Image.entry) =
   | Insn.Li (_, v) -> acc_charge a si (Word.imm_cycles v)
   | Insn.La (_, v) -> acc_charge a si (Word.imm_cycles v)
   | Insn.Mv _ | Insn.Ld _ | Insn.St _ | Insn.Add_gen _ | Insn.Sub_gen _
-  | Insn.Settd _ | Insn.Nop ->
-      acc_charge a si 1
-  | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _ | Insn.Jr _
-  | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
-      assert false);
+  | Insn.Settd _ | Insn.Nop | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _
+  | Insn.Jal _ | Insn.Jr _ | Insn.Jalr _ | Insn.Rett | Insn.Trap _
+  | Insn.Halt ->
+      acc_charge a si 1);
   (match prev with
   | Some pe when interlocks_after pe.Image.insn insn -> acc_interlock a
   | _ -> ());
@@ -511,13 +576,6 @@ let compile_op (hw : M.hw) (e : Image.entry) ~pc:p ~undo ~refund
   | Insn.Jalr _ | Insn.Rett | Insn.Trap _ | Insn.Halt ->
       assert false
 
-let squash_of (e : Image.entry) =
-  match e.Image.insn with
-  | Insn.B (b, _) -> b.Insn.squash
-  | Insn.Bi (b, _) -> b.Insn.bi_squash
-  | Insn.Btag (b, _) -> b.Insn.bt_squash
-  | _ -> false
-
 (* Fuse the block whose leader is [l].  [stop] is the first control
    instruction at or after [l] (or the end of code).  The scan runs
    straight through intermediate leaders — a block reaching a join point
@@ -529,31 +587,15 @@ let build_block (m : M.t) l : M.block =
   let hw = m.M.hw in
   let code = m.M.code in
   let n = Array.length code in
-  let rec scan j =
-    if j >= n || Insn.is_control code.(j).Image.insn then j else scan (j + 1)
-  in
-  let stop = scan l in
+  let sh = shape m l in
+  let stop = sh.sh_stop in
   let len = stop - l in
-  let term = if stop < n then Ctl (stop, code.(stop)) else Fall stop in
-  let steps = len + (match term with Ctl _ -> 1 | Fall _ -> 0) in
-  let slots =
-    match term with
-    | Ctl (c, e) -> (
-        match e.Image.insn with
-        | Insn.B _ | Insn.Bi _ | Insn.Btag _ | Insn.J _ | Insn.Jal _
-        | Insn.Jr _ | Insn.Jalr _ ->
-            let fusible (se : Image.entry) =
-              match se.Image.insn with
-              | Insn.Add_gen _ | Insn.Sub_gen _ -> false
-              | i -> not (Insn.is_control i)
-            in
-            if c + 2 < n && fusible code.(c + 1) && fusible code.(c + 2) then
-              Fused (code.(c + 1), code.(c + 2))
-            else Dynamic
-        | _ -> No_slots)
-    | Fall _ -> No_slots
+  let term =
+    match sh.sh_term with Some e -> Ctl (stop, e) | None -> Fall stop
   in
-  let squash = match term with Ctl (_, e) -> squash_of e | Fall _ -> false in
+  let steps = len + (match term with Ctl _ -> 1 | Fall _ -> 0) in
+  let slots = sh.sh_slots in
+  let squash = sh.sh_squash in
   (* Per-unit static contributions: body instructions at 0..len-1, the
      terminator at [len] (count, issue cycle, and its statically
      resolved interlock against the body's trailing load), fused delay
@@ -569,14 +611,8 @@ let build_block (m : M.t) l : M.block =
           match term with
           | Fall _ -> acc_create ()
           | Ctl (_, e) ->
-              let a = acc_create () in
-              acc_count a (Insn.klass_index (Insn.klass e.Image.insn));
-              acc_charge a (Stats.slot e.Image.annot) 1;
-              (if len > 0 then
-                 let exit_pl = exit_pl_of code.(stop - 1).Image.insn in
-                 if exit_pl >= 0 && List.mem exit_pl (Insn.reads e.Image.insn)
-                 then acc_interlock a);
-              a)
+              let prev = if len > 0 then Some code.(stop - 1) else None in
+              contribution prev e)
         else
           match slots with
           | Fused (s1e, s2e) ->

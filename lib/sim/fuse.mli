@@ -9,10 +9,17 @@
     including on dynamic early exits (division by zero, checked-load
     type traps, generic-arithmetic traps, fuel exhaustion), which undo
     the pre-summed statistics and refund the pre-paid fuel of the
-    unexecuted block suffix (enforced by the three-way engine
-    differential suite). *)
+    unexecuted block suffix (enforced by the engine differential
+    suite).
+
+    The building blocks of fusion — static per-instruction statistics
+    accumulation, flattened deltas, and the continuation-chain compiler
+    for simple instructions — are exposed below for {!Trace}, which
+    reuses them to compile multi-block superblocks; they are not meant
+    for use outside [lib/sim]. *)
 
 module Image := Tagsim_asm.Image
+module Insn := Tagsim_mipsx.Insn
 
 (** Build the block array for a machine's code (exposed for tests;
     normally use {!attach}).  Index [i] is [Some] iff [i] is a block
@@ -28,3 +35,95 @@ val attach : Machine.t -> unit
 
 (** Convenience: [Machine.create ~engine:`Fused] plus {!attach}. *)
 val create : ?fuel:int -> hw:Machine.hw -> Image.t -> Machine.t
+
+(** {1 Fusion building blocks (shared with {!Trace})} *)
+
+(** A fused continuation returns the successor pc, or {!stopped} (any
+    negative value) once the outcome is decided. *)
+type chain_fn = Machine.t -> int
+
+val stopped : int
+
+(** Dense statistics accumulator used at fuse time. *)
+type acc = {
+  mutable a_cycles : int;
+  mutable a_insns : int;
+  mutable a_interlocks : int;
+  mutable a_squashed : int;
+  a_kind : int array;
+  a_klass : int array;
+}
+
+val acc_create : unit -> acc
+val acc_add : acc -> acc -> unit
+
+(** Mirrors [Stats.charge] with the annotation slot pre-resolved. *)
+val acc_charge : acc -> int -> int -> unit
+
+(** The squashed-slot accounting of an annulling branch (two cycles,
+    charged to the branch's annotation slot), statically applied when a
+    trace's expected path falls through a squashing branch. *)
+val acc_squash : acc -> int -> unit
+
+(** The statically-knowable statistics of one instruction: count, the
+    unconditional success-path cycle charge (control instructions issue
+    in one cycle), and the load-use interlock against the given
+    predecessor. *)
+val contribution : Image.entry option -> Image.entry -> acc
+
+(** A pre-summed statistics delta, flattened for single-sweep
+    application (see the implementation header for the layout). *)
+type delta = int array
+
+val compress : acc -> delta
+
+(** A shape-specialised applier for one delta (falls back to the
+    generic sweep for large or squash-carrying deltas). *)
+val apply_fn : delta -> Stats.t -> unit
+
+val delta_undo : Stats.t -> delta -> unit
+
+(** The dynamic block/trace-entry interlock charge (the one probe fusion
+    cannot remove: the previous block may end in a load). *)
+val interlock_stats : Machine.t -> unit
+
+(** Registers read by an instruction as a pre-resolved pair (at most
+    two; -1 = none). *)
+val read_regs : int Insn.t -> int * int
+
+(** The register left with an in-flight load by an instruction at a
+    block exit (-1 for anything but a load). *)
+val exit_pl_of : int Insn.t -> int
+
+val squash_of : Image.entry -> bool
+
+(** Compile one simple (non-control, possibly trapping) instruction
+    into a closure doing only the genuinely dynamic work, tail-calling
+    [next] on the success path.  On a dynamic exit it undoes the
+    pre-summed statistics of the unexecuted remainder ([undo]), refunds
+    [refund] pre-paid fuel, and does not call [next]. *)
+val compile_op :
+  Machine.hw ->
+  Image.entry ->
+  pc:int ->
+  undo:delta Lazy.t ->
+  refund:int ->
+  next:chain_fn ->
+  chain_fn
+
+(** How a terminator's two delay slots are handled: fused into the
+    block, run dynamically through the per-instruction closures, or
+    absent (slotless control instructions and blocks falling off the end
+    of code). *)
+type ctl_slots = No_slots | Fused of Image.entry * Image.entry | Dynamic
+
+(** The static layout of the block led by an address (shared with the
+    trace compiler, which walks shapes along the hot path). *)
+type shape = {
+  sh_stop : int; (* first control instruction at/after the leader *)
+  sh_term : Image.entry option; (* None: the block falls off code *)
+  sh_slots : ctl_slots;
+  sh_squash : bool;
+}
+
+val shape : Machine.t -> int -> shape

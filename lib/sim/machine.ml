@@ -30,9 +30,23 @@ let errorf fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
     instruction (the original interpreter, kept as the semantic
     baseline); [`Predecoded] runs closures compiled once per image by
     {!Predecode.attach}; [`Fused] runs basic-block closures compiled by
-    {!Fuse.attach}, dispatching once per block.  All engines must
-    produce bit-identical statistics. *)
-type engine = [ `Reference | `Predecoded | `Fused ]
+    {!Fuse.attach}, dispatching once per block; [`Traced] runs fused
+    blocks under an edge-heat profile and promotes hot paths into
+    superblock traces compiled by {!Trace} (attached with
+    {!Trace.attach}), dispatching once per trace on the hot paths.  All
+    engines must produce bit-identical statistics. *)
+type engine = [ `Reference | `Predecoded | `Fused | `Traced ]
+
+let engine_name : engine -> string = function
+  | `Reference -> "reference"
+  | `Predecoded -> "predecoded"
+  | `Fused -> "fused"
+  | `Traced -> "traced"
+
+let engine_all : engine list = [ `Reference; `Predecoded; `Fused; `Traced ]
+
+let engine_by_name s : engine option =
+  List.find_opt (fun e -> engine_name e = s) engine_all
 
 (** Hardware configuration: tag geometry and the semantics of the
     tag-aware instructions.  Supplied by the tag scheme in use. *)
@@ -76,6 +90,9 @@ type t = {
   mutable blocks : block option array;
       (* one fused block per basic-block leader, indexed by leader pc,
          installed by Fuse.attach; [||] until then *)
+  mutable tstate : tstate option;
+      (* trace-engine state (heat/edge profile and formed traces),
+         installed by Trace.attach; None until then *)
 }
 
 and exec_fn = t -> unit
@@ -101,6 +118,47 @@ and block = {
   b_exec : t -> int;
   mutable b_next1 : block option;
   mutable b_next2 : block option;
+}
+
+(* Trace-engine state, one per attached code image (shareable between
+   machines running the same image, like [blocks]).  [ts_heat] counts
+   block entries per leader while non-negative; crossing [ts_threshold]
+   saturates the counter to [min_int] and calls [ts_form], which either
+   installs a superblock trace in [ts_traces] (permanently hot) or —
+   when the head could become formable once more edge profile
+   accumulates — resets the counter to retry.  [ts_succ1]/[ts_cnt1] and
+   [ts_succ2]/[ts_cnt2] are a two-entry successor profile per leader
+   (CLOCK-style decay on conflict), consulted by trace formation to pick
+   the dominant path.  All of it is racily shared across domains by
+   design: a torn or stale read can only delay or re-run formation,
+   never corrupt execution — traces are validated like block memos. *)
+and tstate = {
+  ts_traces : trace option array;
+  ts_heat : int array;
+  ts_succ1 : int array;
+  ts_cnt1 : int array;
+  ts_succ2 : int array;
+  ts_cnt2 : int array;
+  ts_threshold : int;
+  ts_form : t -> int -> unit;
+}
+
+(* A compiled superblock trace: [tr_exec] retires the whole expected
+   path ([tr_blocks] fused blocks, [tr_steps] top-level retirements,
+   pre-paid like a block's) in one call and returns the next pc —
+   [tr_exit] when the expected path ran to the end, some other pc after
+   a guarded side exit (which has already rolled statistics and fuel
+   back to the exact per-block values), or a negative value once the
+   outcome is decided.  [tr_next] memoises the trace at [tr_exit] for
+   direct trace chaining (a loop trace chains to itself); the memo is
+   validated against the immutable [tr_pc] exactly like block memos. *)
+and trace = {
+  tr_pc : int; (* leader address of the trace head *)
+  tr_blocks : int;
+  tr_steps : int;
+  tr_exit : int; (* successor pc of the expected path *)
+  tr_exec : t -> int;
+  mutable tr_next : trace option;
 }
 
 (* Error codes used by [Aborted]. *)
@@ -139,6 +197,7 @@ let create ?(fuel = 600_000_000) ?(engine = `Reference) ~hw (image : Image.t) =
     engine;
     exec = [||];
     blocks = [||];
+    tstate = None;
   }
 
 let set_gen_handlers t ~add ~sub =
@@ -507,8 +566,204 @@ let run_fused t =
   in
   dispatch ()
 
+(* Process-wide trace-engine instrumentation.  The run loop accumulates
+   locally and flushes once per [run] call (in a [Fun.protect] finally,
+   so an [Out_of_fuel] or abort-path exception still reports), keeping
+   atomics off the hot path. *)
+type trace_totals = {
+  tt_formed : int;
+  tt_entries : int;
+  tt_side_exits : int;
+  tt_in_trace : int; (* instructions retired inside traces *)
+  tt_retired : int; (* instructions retired by traced runs, total *)
+}
+
+let tt_formed_a = Atomic.make 0
+let tt_entries_a = Atomic.make 0
+let tt_side_exits_a = Atomic.make 0
+let tt_in_trace_a = Atomic.make 0
+let tt_retired_a = Atomic.make 0
+let note_trace_formed () = Atomic.incr tt_formed_a
+
+let trace_counters () =
+  {
+    tt_formed = Atomic.get tt_formed_a;
+    tt_entries = Atomic.get tt_entries_a;
+    tt_side_exits = Atomic.get tt_side_exits_a;
+    tt_in_trace = Atomic.get tt_in_trace_a;
+    tt_retired = Atomic.get tt_retired_a;
+  }
+
+let reset_trace_counters () =
+  Atomic.set tt_formed_a 0;
+  Atomic.set tt_entries_a 0;
+  Atomic.set tt_side_exits_a 0;
+  Atomic.set tt_in_trace_a 0;
+  Atomic.set tt_retired_a 0
+
+(* The traced hot loop: tier 1 is the fused block dispatch with two
+   additions — a per-leader heat/edge profile feeding trace formation,
+   and a trace lookup ahead of the block lookup so a formed trace
+   captures its path.  Tier 2 dispatches once per trace, chaining a loop
+   trace directly to itself through [tr_next].  Blocks do not use their
+   [b_next] memos here: chaining block-to-block would skip the trace
+   lookup at the successor, so tier 1 always returns to [goto].  Fuel
+   follows the fused protocol at each granularity: a trace pre-pays
+   [tr_steps] and falls back to block granularity when it cannot, a
+   block pre-pays [b_steps] and falls back to single instructions, so
+   [Out_of_fuel] fires at the identical retirement count. *)
+let run_traced t =
+  let ts =
+    match t.tstate with
+    | Some ts -> ts
+    | None -> errorf "traced engine not attached (use Trace.attach)"
+  in
+  let blocks = t.blocks in
+  let exec = t.exec in
+  let n = Array.length t.code in
+  if
+    Array.length blocks <> n
+    || Array.length exec <> n
+    || Array.length ts.ts_traces <> n
+  then errorf "traced engine not attached (use Trace.attach)";
+  let traces = ts.ts_traces and heat = ts.ts_heat in
+  let succ1 = ts.ts_succ1
+  and cnt1 = ts.ts_cnt1
+  and succ2 = ts.ts_succ2
+  and cnt2 = ts.ts_cnt2 in
+  let threshold = ts.ts_threshold in
+  let entries = ref 0 and side_exits = ref 0 and in_trace = ref 0 in
+  let fuel0 = t.fuel in
+  (* Two-entry successor profile with decay: a slot is free when its
+     count has decayed to zero, so a shifting dominant successor (think
+     an indirect jump) can eventually displace a stale one. *)
+  let record_edge from next =
+    if heat.(from) >= 0 then
+      if succ1.(from) = next then cnt1.(from) <- cnt1.(from) + 1
+      else if succ2.(from) = next then cnt2.(from) <- cnt2.(from) + 1
+      else if cnt1.(from) = 0 then begin
+        succ1.(from) <- next;
+        cnt1.(from) <- 1
+      end
+      else if cnt2.(from) = 0 then begin
+        succ2.(from) <- next;
+        cnt2.(from) <- 1
+      end
+      else begin
+        cnt1.(from) <- cnt1.(from) - 1;
+        cnt2.(from) <- cnt2.(from) - 1
+      end
+  in
+  let rec dispatch () =
+    match t.outcome with
+    | Some o -> o
+    | None ->
+        let pc = t.pc in
+        if pc < 0 || pc >= n then errorf "pc out of range: %d" pc;
+        goto pc
+  and goto pc =
+    (* [pc] is in range: callers bounds-check before chaining here. *)
+    match Array.unsafe_get traces pc with
+    | Some tr -> enter_trace tr
+    | None -> (
+        match Array.unsafe_get blocks pc with
+        | Some b -> enter_block b
+        | None ->
+            t.pc <- pc;
+            step_one pc)
+  and enter_trace tr =
+    if t.fuel >= tr.tr_steps then begin
+      incr entries;
+      let f0 = t.fuel in
+      t.fuel <- f0 - tr.tr_steps;
+      let pc = tr.tr_exec t in
+      in_trace := !in_trace + (f0 - t.fuel);
+      if pc >= 0 then
+        if pc = tr.tr_exit then
+          match tr.tr_next with
+          | Some nt when nt.tr_pc = pc -> enter_trace nt
+          | _ -> (
+              match if pc < n then Array.unsafe_get traces pc else None with
+              | Some nt ->
+                  tr.tr_next <- Some nt;
+                  enter_trace nt
+              | None ->
+                  if pc >= n then errorf "pc out of range: %d" pc;
+                  goto pc)
+        else begin
+          incr side_exits;
+          if pc >= n then errorf "pc out of range: %d" pc;
+          goto pc
+        end
+      else
+        match t.outcome with
+        | Some o -> o
+        | None -> errorf "trace stopped without an outcome"
+    end
+    else begin
+      (* Fuel tail: re-run the head at block granularity (which in turn
+         falls back to single instructions), for the identical
+         [Out_of_fuel] retirement count. *)
+      t.pc <- tr.tr_pc;
+      match blocks.(tr.tr_pc) with
+      | Some b -> exec_block b
+      | None -> step_one tr.tr_pc
+    end
+  and enter_block b =
+    let bpc = b.b_pc in
+    let h = heat.(bpc) in
+    if h >= 0 then
+      if h + 1 >= threshold then begin
+        heat.(bpc) <- min_int;
+        ts.ts_form t bpc;
+        (* formation may have installed a trace at this leader *)
+        match traces.(bpc) with
+        | Some tr -> enter_trace tr
+        | None -> exec_block b
+      end
+      else begin
+        heat.(bpc) <- h + 1;
+        exec_block b
+      end
+    else exec_block b
+  and exec_block b =
+    if t.fuel >= b.b_steps then begin
+      t.fuel <- t.fuel - b.b_steps;
+      let pc = b.b_exec t in
+      if pc >= 0 then begin
+        record_edge b.b_pc pc;
+        if pc >= n then errorf "pc out of range: %d" pc;
+        goto pc
+      end
+      else
+        match t.outcome with
+        | Some o -> o
+        | None -> errorf "fused block stopped without an outcome"
+    end
+    else begin
+      t.pc <- b.b_pc;
+      step_one b.b_pc
+    end
+  and step_one pc =
+    if t.fuel <= 0 then raise Out_of_fuel;
+    t.fuel <- t.fuel - 1;
+    if pc < 0 || pc >= n then errorf "pc out of range: %d" pc;
+    (Array.unsafe_get exec pc) t;
+    dispatch ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if !entries > 0 then begin
+        ignore (Atomic.fetch_and_add tt_entries_a !entries);
+        ignore (Atomic.fetch_and_add tt_side_exits_a !side_exits);
+        ignore (Atomic.fetch_and_add tt_in_trace_a !in_trace)
+      end;
+      ignore (Atomic.fetch_and_add tt_retired_a (fuel0 - t.fuel)))
+    dispatch
+
 let run t =
   match t.engine with
   | `Reference -> run_reference t
   | `Predecoded -> run_predecoded t
   | `Fused -> run_fused t
+  | `Traced -> run_traced t

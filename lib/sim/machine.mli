@@ -13,7 +13,12 @@
     - [`Fused]: straight-line runs of pre-decoded instructions are fused
       into basic-block closures by {!Fuse.attach}; {!run} then dispatches
       once per block, with statically-knowable statistics pre-summed and
-      successor blocks chained directly.  All engines must produce
+      successor blocks chained directly;
+    - [`Traced]: fused blocks run under a block-entry/edge heat profile
+      ({!Trace.attach}); hot paths are promoted to superblock traces —
+      one straight-line closure spanning several blocks with a single
+      pre-summed statistics delta and guarded side exits that roll back
+      to exact per-block accounting.  All engines must produce
       bit-identical {!Stats.t} (enforced by the differential engine
       suite). *)
 
@@ -38,7 +43,19 @@ type hw = {
 type outcome = Halted of int | Aborted of int
 
 (** Execution engine selector (see the module header). *)
-type engine = [ `Reference | `Predecoded | `Fused ]
+type engine = [ `Reference | `Predecoded | `Fused | `Traced ]
+
+(** {1 Engine registry}
+
+    The canonical engine names, for CLI parsing and reporting. *)
+
+val engine_name : engine -> string
+
+(** All engines, in reference-to-fastest order. *)
+val engine_all : engine list
+
+(** Inverse of {!engine_name}; [None] for an unknown name. *)
+val engine_by_name : string -> engine option
 
 (** The machine state.  The record is exposed so that {!Predecode} and
     {!Fuse} can compile closures that operate on it directly; treat it
@@ -65,6 +82,7 @@ type t = {
   engine : engine;
   mutable exec : exec_fn array; (* installed by Predecode.attach *)
   mutable blocks : block option array; (* installed by Fuse.attach *)
+  mutable tstate : tstate option; (* installed by Trace.attach *)
 }
 
 and exec_fn = t -> unit
@@ -84,6 +102,42 @@ and block = {
   b_exec : t -> int;
   mutable b_next1 : block option;
   mutable b_next2 : block option;
+}
+
+(** Trace-engine state (built by {!Trace.attach}): per-leader entry
+    heat, a two-entry successor profile with decay, and the formed
+    traces.  [ts_heat] saturates to [min_int] when a leader crosses
+    [ts_threshold] and [ts_form] runs (installing a trace or, when more
+    profile is needed, resetting the counter to retry).  Shareable
+    between machines running the same image; racy profile updates only
+    delay or repeat formation, never corrupt execution. *)
+and tstate = {
+  ts_traces : trace option array;
+  ts_heat : int array;
+  ts_succ1 : int array;
+  ts_cnt1 : int array;
+  ts_succ2 : int array;
+  ts_cnt2 : int array;
+  ts_threshold : int;
+  ts_form : t -> int -> unit;
+}
+
+(** A compiled superblock trace (built by {!Trace}): [tr_exec] retires
+    the whole expected path — [tr_blocks] fused blocks, [tr_steps]
+    pre-paid top-level retirements — in one call and returns the next
+    pc: [tr_exit] when the expected path completed, another pc after a
+    guarded side exit (statistics and fuel already rolled back to the
+    exact per-block values), or a negative value once the outcome is
+    decided.  [tr_next] memoises the trace at [tr_exit] for direct
+    chaining (a loop trace chains to itself), validated against the
+    immutable [tr_pc] like block memos. *)
+and trace = {
+  tr_pc : int; (* leader address of the trace head *)
+  tr_blocks : int;
+  tr_steps : int;
+  tr_exit : int; (* successor pc of the expected path *)
+  tr_exec : t -> int;
+  mutable tr_next : trace option;
 }
 
 (** {1 Abort codes} *)
@@ -141,3 +195,23 @@ exception Out_of_fuel
 
 (** Run to completion with the machine's engine. *)
 val run : t -> outcome
+
+(** {1 Trace-engine instrumentation}
+
+    Process-wide counters for the [`Traced] engine, accumulated across
+    all domains once per {!run} (diagnostics only — they do not feed the
+    paper's statistics). *)
+
+type trace_totals = {
+  tt_formed : int;  (** superblock traces formed *)
+  tt_entries : int;  (** trace entries *)
+  tt_side_exits : int;  (** trace exits off the expected path *)
+  tt_in_trace : int;  (** instructions retired inside traces *)
+  tt_retired : int;  (** instructions retired by traced runs, total *)
+}
+
+(** Called by {!Trace} when a trace is formed. *)
+val note_trace_formed : unit -> unit
+
+val trace_counters : unit -> trace_totals
+val reset_trace_counters : unit -> unit
