@@ -358,10 +358,11 @@ let compile_matrix () =
         cells)
     (Tagsim.Benchmarks.all ())
 
-let compile_all backend configs =
+let compile_all ?(opt = `None) backend configs =
   List.iter
     (fun (fe, scheme, support) ->
-      ignore (Tagsim.Program.compile_frontend ~backend ~scheme ~support fe))
+      ignore
+        (Tagsim.Program.compile_frontend ~backend ~opt ~scheme ~support fe))
     configs
 
 let time_leg leg =
@@ -393,6 +394,19 @@ let compile_benchmark () =
     best_of runs (fun () -> time_leg (fun () -> compile_all `Incremental configs))
   in
   let hits, misses, _ = Objcache.counters () in
+  (* One instrumented cold leg per optimization level: the backend's
+     own phase accumulator breaks the wall clock into
+     lower/opt/select/schedule/assemble/link, so the pipeline split's
+     cost is visible (and the optimizer's own cost is isolated). *)
+  let instrumented_cold opt =
+    Objcache.clear_memo ();
+    Objcache.wipe ();
+    Tagsim.Bphase.reset ();
+    let total = time_leg (fun () -> compile_all ~opt `Incremental configs) in
+    (total, Tagsim.Bphase.totals ())
+  in
+  let cold_none, ph_none = instrumented_cold `None in
+  let cold_checks, ph_checks = instrumented_cold `Checks in
   Fmt.pr "@.Backend, full Table 2 compile matrix (%d configurations, best \
           of %d):@." n runs;
   Fmt.pr "  monolithic                %8.3f s@." mono;
@@ -405,6 +419,16 @@ let compile_benchmark () =
   Fmt.pr "  incremental, warm memo    %8.3f s   (%.1fx vs monolithic; %d \
           hits, %d misses)@."
     inc_warm (mono /. inc_warm) hits misses;
+  let pp_phases what total (p : Tagsim.Bphase.totals) =
+    Fmt.pr
+      "  %-25s %8.3f s   (lower %.3f  opt %.3f  select %.3f  schedule %.3f  \
+       assemble %.3f  link %.3f)@."
+      what total p.Tagsim.Bphase.lower_s p.Tagsim.Bphase.opt_s
+      p.Tagsim.Bphase.select_s p.Tagsim.Bphase.schedule_s
+      p.Tagsim.Bphase.assemble_s p.Tagsim.Bphase.link_s
+  in
+  pp_phases "cold phases, opt none" cold_none ph_none;
+  pp_phases "cold phases, opt checks" cold_checks ph_checks;
   let oc = open_out "BENCH_compile.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -421,7 +445,20 @@ let compile_benchmark () =
   out "  \"incremental_warm_memo_seconds_best\": %.3f,\n" inc_warm;
   out "  \"warm_memo_hits\": %d,\n" hits;
   out "  \"warm_memo_misses\": %d,\n" misses;
-  out "  \"warm_speedup_vs_monolithic\": %.1f\n" (mono /. inc_warm);
+  out "  \"warm_speedup_vs_monolithic\": %.1f,\n" (mono /. inc_warm);
+  let out_phases key total (p : Tagsim.Bphase.totals) term =
+    out "  %S: {\n" key;
+    out "    \"total_seconds\": %.3f,\n" total;
+    out "    \"lower_seconds\": %.3f,\n" p.Tagsim.Bphase.lower_s;
+    out "    \"opt_seconds\": %.3f,\n" p.Tagsim.Bphase.opt_s;
+    out "    \"select_seconds\": %.3f,\n" p.Tagsim.Bphase.select_s;
+    out "    \"schedule_seconds\": %.3f,\n" p.Tagsim.Bphase.schedule_s;
+    out "    \"assemble_seconds\": %.3f,\n" p.Tagsim.Bphase.assemble_s;
+    out "    \"link_seconds\": %.3f\n" p.Tagsim.Bphase.link_s;
+    out "  }%s\n" term
+  in
+  out_phases "cold_phases_opt_none" cold_none ph_none ",";
+  out_phases "cold_phases_opt_checks" cold_checks ph_checks "";
   out "}\n";
   close_out oc;
   Fmt.pr "Backend timings written to BENCH_compile.json@."

@@ -48,6 +48,16 @@ let semi =
     & opt (some int) None
     & info [ "semi" ] ~docv:"BYTES" ~doc:"Semispace size in bytes.")
 
+let opt_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("checks", `Checks) ]) `None
+    & info [ "opt" ] ~docv:"LEVEL"
+        ~doc:
+          "Backend optimization level: $(b,none) (default; byte-identical \
+           to the monolithic oracle) or $(b,checks) (tag-knowledge \
+           check elimination over the typed tag-operation IR).")
+
 let engine_arg =
   let parse s =
     match Tagsim.Machine.engine_by_name s with
@@ -110,9 +120,9 @@ let pp_stats ppf (stats : Tagsim.Stats.t) =
   Fmt.pf ppf "collector     : %7d  (%5.2f%%)@\n" (Tagsim.Stats.gc stats)
     (pct (Tagsim.Stats.gc stats))
 
-let run_program source sizes scheme support engine =
+let run_program source sizes scheme support opt engine =
   let program, result =
-    Tagsim.Program.run_source ~engine ~sizes ~scheme ~support source
+    Tagsim.Program.run_source ~opt ~engine ~sizes ~scheme ~support source
   in
   (match result.Tagsim.Program.abort with
   | Some msg -> Fmt.pr "aborted: %s@." msg
@@ -125,7 +135,9 @@ let run_program source sizes scheme support engine =
     result.Tagsim.Program.gc_collections
     result.Tagsim.Program.gc_bytes_copied;
   Fmt.pr "object code: %d words@."
-    program.Tagsim.Program.meta.Tagsim.Program.object_words
+    program.Tagsim.Program.meta.Tagsim.Program.object_words;
+  let elided = program.Tagsim.Program.meta.Tagsim.Program.checks_eliminated in
+  if elided > 0 then Fmt.pr "checks eliminated: %d@." elided
 
 let sizes_of (entry_sizes : Tagsim.Layout.sizes) semi : Tagsim.Layout.sizes =
   match semi with
@@ -141,24 +153,25 @@ let bench_name =
     & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,tagsim list)).")
 
 let run_cmd =
-  let run name scheme checking config semi engine =
+  let run name scheme checking config semi opt engine =
     let entry = Tagsim.Benchmarks.find name in
     Fmt.pr "== %s: %s@." name entry.Tagsim.Benchmarks.description;
     run_program entry.Tagsim.Benchmarks.source
       (sizes_of entry.Tagsim.Benchmarks.sizes semi)
       scheme
       (support_of checking config)
-      engine
+      opt engine
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark program on the simulator.")
     Term.(
-      const run $ bench_name $ scheme $ checking $ config $ semi $ engine_arg)
+      const run $ bench_name $ scheme $ checking $ config $ semi $ opt_arg
+      $ engine_arg)
 
 (* --- file --- *)
 
 let file_cmd =
-  let run path scheme checking config semi engine =
+  let run path scheme checking config semi opt engine =
     let ic = open_in path in
     let n = in_channel_length ic in
     let source = really_input_string ic n in
@@ -167,7 +180,7 @@ let file_cmd =
       (sizes_of Tagsim.Layout.default_sizes semi)
       scheme
       (support_of checking config)
-      engine
+      opt engine
   in
   let path =
     Arg.(
@@ -177,7 +190,9 @@ let file_cmd =
   in
   Cmd.v
     (Cmd.info "file" ~doc:"Compile and run a Lisp source file.")
-    Term.(const run $ path $ scheme $ checking $ config $ semi $ engine_arg)
+    Term.(
+      const run $ path $ scheme $ checking $ config $ semi $ opt_arg
+      $ engine_arg)
 
 (* --- list --- *)
 
@@ -196,10 +211,10 @@ let list_cmd =
 (* --- asm --- *)
 
 let asm_cmd =
-  let run name scheme checking config =
+  let run name scheme checking config opt =
     let entry = Tagsim.Benchmarks.find name in
     let program =
-      Tagsim.Program.compile ~sizes:entry.Tagsim.Benchmarks.sizes ~scheme
+      Tagsim.Program.compile ~opt ~sizes:entry.Tagsim.Benchmarks.sizes ~scheme
         ~support:(support_of checking config)
         entry.Tagsim.Benchmarks.source
     in
@@ -207,7 +222,7 @@ let asm_cmd =
   in
   Cmd.v
     (Cmd.info "asm" ~doc:"Dump the scheduled assembly of a benchmark.")
-    Term.(const run $ bench_name $ scheme $ checking $ config)
+    Term.(const run $ bench_name $ scheme $ checking $ config $ opt_arg)
 
 (* --- profile --- *)
 
@@ -239,9 +254,7 @@ let print_run_summary () =
   let compile_s, simulate_s, render_s =
     Tagsim.Analysis.Instrument.totals ()
   in
-  let codegen_s, schedule_s, assemble_s, link_s =
-    Tagsim.Analysis.Instrument.backend_totals ()
-  in
+  let bt = Tagsim.Analysis.Instrument.backend_totals () in
   Fmt.epr "== run summary ==@.";
   Fmt.epr "jobs: %d@." !Tagsim.Analysis.Pool.default_jobs;
   if Cache.enabled () then
@@ -254,8 +267,12 @@ let print_run_summary () =
   Fmt.epr "simulations: %d@." (Tagsim.Analysis.Run.simulations ());
   Fmt.epr "phases: compile %.2fs  simulate %.2fs  render %.2fs@." compile_s
     simulate_s render_s;
-  Fmt.epr "backend: codegen %.2fs  schedule %.2fs  assemble %.2fs  link %.2fs@."
-    codegen_s schedule_s assemble_s link_s;
+  Fmt.epr
+    "backend: codegen %.2fs  lower %.2fs  opt %.2fs  select %.2fs  schedule \
+     %.2fs  assemble %.2fs  link %.2fs@."
+    bt.Tagsim.Bphase.codegen_s bt.Tagsim.Bphase.lower_s bt.Tagsim.Bphase.opt_s
+    bt.Tagsim.Bphase.select_s bt.Tagsim.Bphase.schedule_s
+    bt.Tagsim.Bphase.assemble_s bt.Tagsim.Bphase.link_s;
   let tt = Tagsim.Analysis.Instrument.trace_totals () in
   let pct part whole =
     if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
@@ -304,7 +321,7 @@ let experiments_cmd =
       & info [ "only" ] ~docv:"NAMES"
           ~doc:
             "Comma-separated subset of table1, figure1, figure2, table2, \
-             table3, garith, ablations.")
+             table3, garith, ablations, elision.")
   in
   let json =
     Arg.(

@@ -44,8 +44,10 @@ module Program = Tagsim_compiler.Program
 module Prelude = Tagsim_compiler.Prelude
 
 (* Bump on any measurement-affecting change: codegen, runtime, scheme
-   semantics, cost model, or Stats layout (see the header comment). *)
-let version = "1"
+   semantics, cost model, or Stats layout (see the header comment).
+   2: the optimization level joined the key and the payload meta line
+   gained the eliminated-check count. *)
+let version = "2"
 
 (* Configured once by the CLI/bench entry point before any fan-out;
    plain refs because workers only read them. Disabled by default so
@@ -83,7 +85,8 @@ let sched_token (s : Sched.config) =
   Printf.sprintf "%b/%b/%b" s.Sched.hoist s.Sched.fill_unlikely
     s.Sched.squash_likely
 
-let key ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
+let key ?(sched = Sched.default) ?(opt = `None) ~scheme ~support
+    (entry : Registry.entry) =
   Digest.to_hex
     (Digest.string
        (String.concat "\n"
@@ -95,6 +98,7 @@ let key ?(sched = Sched.default) ~scheme ~support (entry : Registry.entry) =
             scheme.Scheme.name;
             Support.describe support;
             sched_token sched;
+            Tagsim_compiler.Tir.opt_token opt;
           ]))
 
 let entry_path k = Filename.concat !dir_ref (k ^ ".entry")
@@ -129,8 +133,9 @@ let serialize (p : payload) =
   line "traps %d" s.Stats.traps;
   line "trap_cycles %d" s.Stats.trap_cycles;
   line "gc %d %d" p.p_gc_collections p.p_gc_bytes_copied;
-  line "meta %d %d %d" p.p_meta.Program.procedures
-    p.p_meta.Program.source_lines p.p_meta.Program.object_words;
+  line "meta %d %d %d %d" p.p_meta.Program.procedures
+    p.p_meta.Program.source_lines p.p_meta.Program.object_words
+    p.p_meta.Program.checks_eliminated;
   line "end";
   Buffer.contents b
 
@@ -167,9 +172,11 @@ let parse (text : string) : payload =
         | [ c; b ] -> (int_of_string c, int_of_string b)
         | _ -> raise Malformed
       in
-      let procedures, source_lines, object_words =
+      let procedures, source_lines, object_words, checks_eliminated =
         match expect "meta" meta with
-        | [ p; s; o ] -> (int_of_string p, int_of_string s, int_of_string o)
+        | [ p; s; o; e ] ->
+            (int_of_string p, int_of_string s, int_of_string o,
+             int_of_string e)
         | _ -> raise Malformed
       in
       {
@@ -186,7 +193,9 @@ let parse (text : string) : payload =
           };
         p_gc_collections = gc_c;
         p_gc_bytes_copied = gc_b;
-        p_meta = { Program.procedures; source_lines; object_words };
+        p_meta =
+          { Program.procedures; source_lines; object_words;
+            checks_eliminated };
       }
   | _ -> raise Malformed
 

@@ -32,9 +32,12 @@ val dir : unit -> string
 
 val set_dir : string -> unit
 
-(** The content-addressed key of a configuration. *)
+(** The content-addressed key of a configuration.  [opt] (default
+    [`None]) is the backend optimization level — it changes the emitted
+    code, so it participates in the digest. *)
 val key :
   ?sched:Sched.config ->
+  ?opt:Tagsim_compiler.Program.opt ->
   scheme:Scheme.t ->
   support:Support.t ->
   Registry.entry ->

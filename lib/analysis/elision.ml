@@ -1,0 +1,181 @@
+(** Elision: what the tag-knowledge check-elimination pass buys back of
+    Table 1's checking overhead.  Each program is measured three ways
+    under the software-checked configuration: without checking (the
+    base), with checking unoptimized, and with checking plus the
+    [`Checks] optimization.  The artifact reports the static count of
+    deleted checks and the checking-overhead percentage before and
+    after, next to Table 1's numbers.  Declared as a {!Spec.artifact}:
+    the matrix is three configurations per program; the render is a pure
+    reduction over the store. *)
+
+module Stats = Tagsim_sim.Stats
+module Scheme = Tagsim_tags.Scheme
+module Support = Tagsim_tags.Support
+module Program = Tagsim_compiler.Program
+module Registry = Tagsim_programs.Registry
+
+type row = {
+  name : string;
+  checks_eliminated : int; (* static: checks the optimizer deleted *)
+  cycles_off : int; (* total cycles, checking on, opt none *)
+  cycles_on : int; (* total cycles, checking on, opt checks *)
+  added_off : int; (* checking-attributed cycles, opt none *)
+  added_on : int; (* checking-attributed cycles, opt checks *)
+  overhead_off : float; (* % over the unchecked base, opt none *)
+  overhead_on : float; (* % over the unchecked base, opt checks *)
+  delta : float; (* overhead_off - overhead_on: points recovered *)
+}
+
+type t = { rows : row list; average : row }
+
+let base_support = Support.software
+let chk_support = Support.with_checking Support.software
+
+(* Cycles that exist only because checking is on: every
+   checking-annotated tag-handling cycle plus the generic-arithmetic
+   dispatch the checked arithmetic falls back to. *)
+let added_cycles stats =
+  Stats.tag_checking ~checking:true stats
+  + Stats.generic_arith ~checking:true stats
+
+let configs_for scheme entries =
+  List.concat_map
+    (fun entry ->
+      [
+        Run.config ~scheme ~support:base_support entry;
+        Run.config ~scheme ~support:chk_support entry;
+        Run.config ~scheme ~support:chk_support ~opt:`Checks entry;
+      ])
+    entries
+
+let render_for scheme entries (lookup : Spec.lookup) =
+  let rows =
+    List.map
+      (fun entry ->
+        let base = lookup (Run.config ~scheme ~support:base_support entry) in
+        let chk = lookup (Run.config ~scheme ~support:chk_support entry) in
+        let opt =
+          lookup (Run.config ~scheme ~support:chk_support ~opt:`Checks entry)
+        in
+        let b = Stats.total base.Run.stats in
+        let off = Stats.total chk.Run.stats in
+        let on = Stats.total opt.Run.stats in
+        let overhead_off = Run.pct (off - b) b in
+        let overhead_on = Run.pct (on - b) b in
+        {
+          name = entry.Registry.name;
+          checks_eliminated = opt.Run.meta.Program.checks_eliminated;
+          cycles_off = off;
+          cycles_on = on;
+          added_off = added_cycles chk.Run.stats;
+          added_on = added_cycles opt.Run.stats;
+          overhead_off;
+          overhead_on;
+          delta = overhead_off -. overhead_on;
+        })
+      entries
+  in
+  let avg f = Run.mean (List.map f rows) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let average =
+    {
+      name = "average";
+      checks_eliminated = sum (fun r -> r.checks_eliminated);
+      cycles_off = sum (fun r -> r.cycles_off);
+      cycles_on = sum (fun r -> r.cycles_on);
+      added_off = sum (fun r -> r.added_off);
+      added_on = sum (fun r -> r.added_on);
+      overhead_off = avg (fun r -> r.overhead_off);
+      overhead_on = avg (fun r -> r.overhead_on);
+      delta = avg (fun r -> r.delta);
+    }
+  in
+  { rows; average }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "Elision: checking overhead before/after tag-knowledge check \
+     elimination (high5/software)@\n";
+  Fmt.pf ppf "%-8s %7s %10s %10s %9s %9s %8s %8s %7s@\n" "" "elided"
+    "cyc(off)" "cyc(on)" "add(off)" "add(on)" "ovh.off" "ovh.on" "delta";
+  let row ppf r =
+    Fmt.pf ppf "%-8s %7d %10d %10d %9d %9d %7.2f%% %7.2f%% %6.2f%%" r.name
+      r.checks_eliminated r.cycles_off r.cycles_on r.added_off r.added_on
+      r.overhead_off r.overhead_on r.delta
+  in
+  List.iter (fun r -> Fmt.pf ppf "%a@\n" row r) t.rows;
+  Fmt.pf ppf "%a@\n" row t.average
+
+(* --- sinks --- *)
+
+let json_of_row r =
+  Spec.J_obj
+    [
+      ("name", Spec.J_string r.name);
+      ("checks_eliminated", Spec.J_int r.checks_eliminated);
+      ("cycles_off", Spec.J_int r.cycles_off);
+      ("cycles_on", Spec.J_int r.cycles_on);
+      ("added_off", Spec.J_int r.added_off);
+      ("added_on", Spec.J_int r.added_on);
+      ("overhead_off", Spec.J_float r.overhead_off);
+      ("overhead_on", Spec.J_float r.overhead_on);
+      ("delta", Spec.J_float r.delta);
+    ]
+
+let json_of t =
+  Spec.J_obj
+    [
+      ("rows", Spec.J_list (List.map json_of_row t.rows));
+      ("average", json_of_row t.average);
+    ]
+
+let tables_of t =
+  let cells r =
+    [
+      r.name;
+      string_of_int r.checks_eliminated;
+      string_of_int r.cycles_off;
+      string_of_int r.cycles_on;
+      string_of_int r.added_off;
+      string_of_int r.added_on;
+      Spec.cell r.overhead_off;
+      Spec.cell r.overhead_on;
+      Spec.cell r.delta;
+    ]
+  in
+  [
+    {
+      Spec.t_name = "elision";
+      columns =
+        [
+          "name"; "checks_eliminated"; "cycles_off"; "cycles_on"; "added_off";
+          "added_on"; "overhead_off"; "overhead_on"; "delta";
+        ];
+      rows = List.map cells (t.rows @ [ t.average ]);
+    };
+  ]
+
+let title = "checking overhead recovered by check elimination"
+
+let to_rendered t =
+  {
+    Spec.r_name = "elision";
+    r_title = title;
+    r_text = Spec.text_of pp t;
+    r_json = json_of t;
+    r_tables = tables_of t;
+  }
+
+let artifact =
+  {
+    Spec.a_name = "elision";
+    a_title = title;
+    a_configs = configs_for Scheme.high5;
+    a_render =
+      (fun entries lookup ->
+        to_rendered (render_for Scheme.high5 entries lookup));
+  }
+
+let measure ?(scheme = Scheme.high5) () =
+  let entries = Run.all_entries () in
+  render_for scheme entries (Spec.lookup_of (configs_for scheme entries))

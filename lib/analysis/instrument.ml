@@ -36,10 +36,11 @@ let time phase f =
 let totals () =
   Mutex.protect mutex (fun () -> (!compile_s, !simulate_s, !render_s))
 
-(** The backend's internal breakdown of the [Compile] phase — codegen,
-    per-unit scheduling, monolithic assembly, incremental linking —
-    re-exported from the compiler layer's accumulator so CLI reporting
-    has a single instrumentation entry point. *)
+(** The backend's internal breakdown of the [Compile] phase — monolithic
+    codegen, incremental lower/opt/select, per-unit scheduling,
+    monolithic assembly, incremental linking — re-exported from the
+    compiler layer's accumulator so CLI reporting has a single
+    instrumentation entry point. *)
 let backend_totals () = Tagsim_compiler.Bphase.totals ()
 
 (** The traced engine's tier-2 counters — traces formed, trace entries,

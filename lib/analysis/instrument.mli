@@ -18,9 +18,9 @@ val time : phase -> (unit -> 'a) -> 'a
 val totals : unit -> float * float * float
 
 (** Backend breakdown of the [Compile] phase, re-exported from
-    {!Tagsim_compiler.Bphase}: [(codegen, schedule, assemble, link)]
-    seconds. *)
-val backend_totals : unit -> float * float * float * float
+    {!Tagsim_compiler.Bphase}: per-phase seconds (monolithic codegen,
+    incremental lower/opt/select, scheduling, assembly, linking). *)
+val backend_totals : unit -> Tagsim_compiler.Bphase.totals
 
 (** The traced engine's superblock counters, re-exported from
     {!Tagsim_sim.Machine.trace_counters}. *)

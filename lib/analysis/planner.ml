@@ -21,6 +21,7 @@ let artifacts : Spec.artifact list =
     Table3.artifact;
     Garith.artifact;
     Ablations.artifact;
+    Elision.artifact;
   ]
 
 let names () = List.map (fun a -> a.Spec.a_name) artifacts

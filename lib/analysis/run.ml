@@ -33,6 +33,7 @@ type measurement = {
    reproduction and is excluded from {!matrix_key}. *)
 type config = {
   c_sched : Sched.config;
+  c_opt : Program.opt;
   c_scheme : Scheme.t;
   c_support : Support.t;
   c_entry : Registry.entry;
@@ -90,6 +91,7 @@ let matrix_key c =
       c.c_scheme.Scheme.name;
       Support.describe c.c_support;
       sched_key c.c_sched;
+      Tagsim_compiler.Tir.opt_token c.c_opt;
     ]
 
 (* Memo key: engine-qualified, so engine-differential tests can hold
@@ -105,7 +107,8 @@ let config_key c =
 (* The persistent-store key of a configuration: engine-agnostic, like
    [matrix_key], but content-addressed (see {!Cache.key}). *)
 let cache_key c =
-  Cache.key ~sched:c.c_sched ~scheme:c.c_scheme ~support:c.c_support c.c_entry
+  Cache.key ~sched:c.c_sched ~opt:c.c_opt ~scheme:c.c_scheme
+    ~support:c.c_support c.c_entry
 
 let memo_find k = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache k)
 let memo_add k m = Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache k m)
@@ -146,8 +149,8 @@ let compute_config c =
   let entry = c.c_entry and scheme = c.c_scheme and support = c.c_support in
   let program =
     Instrument.time Instrument.Compile (fun () ->
-        Program.compile_frontend ~sched:c.c_sched ~sizes:entry.Registry.sizes
-          ~scheme ~support (frontend_of entry))
+        Program.compile_frontend ~opt:c.c_opt ~sched:c.c_sched
+          ~sizes:entry.Registry.sizes ~scheme ~support (frontend_of entry))
   in
   let result =
     Instrument.time Instrument.Simulate (fun () ->
@@ -191,17 +194,19 @@ let compute_config c =
 let run_config c =
   match lookup_cached c with Some m -> m | None -> compute_config c
 
-let config ?(sched = Sched.default) ?(engine = `Traced) ~scheme ~support entry =
+let config ?(sched = Sched.default) ?(opt = `None) ?(engine = `Traced) ~scheme
+    ~support entry =
   {
     c_sched = sched;
+    c_opt = opt;
     c_scheme = scheme;
     c_support = support;
     c_entry = entry;
     c_engine = engine;
   }
 
-let run ?sched ?engine ~scheme ~support (entry : Registry.entry) =
-  run_config (config ?sched ?engine ~scheme ~support entry)
+let run ?sched ?opt ?engine ~scheme ~support (entry : Registry.entry) =
+  run_config (config ?sched ?opt ?engine ~scheme ~support entry)
 
 (** Fan a configuration matrix out across the pool's worker domains and
     return the measurements in input order.  Duplicated configurations

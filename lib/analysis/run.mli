@@ -30,6 +30,7 @@ type measurement = {
     reproduction. *)
 type config = {
   c_sched : Sched.config;
+  c_opt : Program.opt; (* backend optimization level; changes code *)
   c_scheme : Scheme.t;
   c_support : Support.t;
   c_entry : Registry.entry;
@@ -56,7 +57,8 @@ val simulations : unit -> int
 val reset_simulations : unit -> unit
 
 (** Engine-agnostic identity of a configuration (entry, scheme, support,
-    scheduler): the key of the planner's measurement store. *)
+    scheduler, optimization level): the key of the planner's measurement
+    store. *)
 val matrix_key : config -> string
 
 (** Engine-qualified memo key. *)
@@ -64,15 +66,18 @@ val config_key : config -> string
 
 val run :
   ?sched:Sched.config ->
+  ?opt:Program.opt ->
   ?engine:Machine.engine ->
   scheme:Scheme.t ->
   support:Support.t ->
   Registry.entry ->
   measurement
 
-(** Build a configuration; [engine] defaults to [`Traced]. *)
+(** Build a configuration; [opt] defaults to [`None], [engine] to
+    [`Traced]. *)
 val config :
   ?sched:Sched.config ->
+  ?opt:Program.opt ->
   ?engine:Machine.engine ->
   scheme:Scheme.t ->
   support:Support.t ->

@@ -1,10 +1,23 @@
-(** Wall-clock accounting for the backend's internal phases — code
-    generation, per-unit delay-slot scheduling, monolithic assembly,
-    incremental linking — accumulated across all worker domains and
-    printed by the CLI under [--verbose] (via the pipeline-level
-    [Instrument], which re-exports these totals). *)
+(** Wall-clock accounting for the backend's internal phases — monolithic
+    code generation; the incremental path's AST->TIR lowering,
+    check-elimination optimization and TIR->assembly selection; per-unit
+    delay-slot scheduling; monolithic assembly; incremental linking —
+    accumulated across all worker domains and printed by the CLI under
+    [--verbose] (via the pipeline-level [Instrument], which re-exports
+    these totals). *)
 
-type phase = Codegen | Schedule | Assemble | Link
+type phase = Codegen | Lower | Opt | Select | Schedule | Assemble | Link
+
+(** Per-phase seconds since start or {!reset}. *)
+type totals = {
+  codegen_s : float;
+  lower_s : float;
+  opt_s : float;
+  select_s : float;
+  schedule_s : float;
+  assemble_s : float;
+  link_s : float;
+}
 
 (** Accumulate [dt] seconds into a phase total (thread-safe). *)
 val add : phase -> float -> unit
@@ -13,8 +26,5 @@ val add : phase -> float -> unit
     exception). *)
 val time : phase -> (unit -> 'a) -> 'a
 
-(** [(codegen, schedule, assemble, link)] seconds since start or
-    {!reset}. *)
-val totals : unit -> float * float * float * float
-
+val totals : unit -> totals
 val reset : unit -> unit

@@ -1,0 +1,261 @@
+(** Check elimination: a forward tag-knowledge dataflow pass over
+    {!Tir}.
+
+    The analysis tracks, per storage key (temporary register, frame
+    slot, global value cell), the type its current value is known to
+    have.  Knowledge is seeded by literals, allocator results and
+    dominating checks, intersected at control-flow joins, and killed
+    when a value may change.  It is then used to delete redundant
+    [Checkty]/[Checkint] operations and to downgrade generic
+    arithmetic whose operands are known fixnums (setting
+    [a_int]/[b_int], which elide the inline operand tests).
+
+    Soundness invariants (see DESIGN.md):
+
+    - Every elidable operation is checking-gated: under a
+      non-checking support it emits nothing, so knowledge may assume
+      checking-on semantics — on the fall-through edge of a check (or
+      of a typed field access, whose own check dominates it) the value
+      {e is} of the checked type, because the other path trapped.
+    - [Tybranch]/[Intbranch] (type predicates) are semantics-bearing
+      and are never deleted; they only contribute edge knowledge.
+    - Vector bounds checks are value checks, not type checks, and are
+      never deleted.
+    - Temporaries and locals survive calls and GC points: calls
+      spill/reload every live temporary and cached local, and the
+      copying collector preserves the type of every relocated item.
+    - Globals are killed at user calls ([Calluser]/[Funcall]) — the
+      callee may assign any symbol's value cell — but survive pure GC
+      points ([Consop]/[Mkvect]/[Makebox]/[Reclaim]): collection moves
+      objects without changing any value's type.
+    - Temporaries above the call base are clobbered by the callee (only
+      temps below the base and the listed register-cached locals are
+      spilled), so they are killed too.
+    - Arithmetic results are {e not} known fixnums: the generic
+      fallback may return a boxnum on overflow. *)
+
+module Reg = Tagsim_mipsx.Reg
+module Scheme = Tagsim_tags.Scheme
+module Ast = Tagsim_lisp.Ast
+
+module Key = struct
+  type t = Kreg of int | Kslot of int | Kglob of string
+
+  let compare = compare
+end
+
+module KM = Map.Make (Key)
+
+(* [know] maps a key to the type its value is known to have; [orig]
+   maps a key holding a copy to the key it was copied from (one level),
+   so a dominating check on the copy also refines the source — the
+   common [(if (pairp x) (car x))] shape checks the temporary loaded
+   from [x]. *)
+type state = { know : Scheme.ty KM.t; orig : Key.t KM.t }
+
+let empty = { know = KM.empty; orig = KM.empty }
+
+let key_of_loc = function
+  | Tir.Lreg (r, _) -> Key.Kreg r
+  | Tir.Lslot off -> Key.Kslot off
+  | Tir.Lglobal v -> Key.Kglob v
+
+(* The value at [k] changed: drop its knowledge, its copy-origin, and
+   every copy-origin pointing at it. *)
+let write st k ty_opt =
+  let know =
+    match ty_opt with
+    | Some ty -> KM.add k ty st.know
+    | None -> KM.remove k st.know
+  in
+  let orig = KM.remove k st.orig in
+  let orig = KM.filter (fun _ src -> src <> k) orig in
+  { know; orig }
+
+let copy_from st dst src =
+  let st = write st dst (KM.find_opt src st.know) in
+  { st with orig = KM.add dst src st.orig }
+
+(* [v] (a register) is now known to be [ty]; propagate through its
+   copy-origin. *)
+let refine st v ty =
+  let k = Key.Kreg v in
+  let know = KM.add k ty st.know in
+  let know =
+    match KM.find_opt k st.orig with
+    | Some src -> KM.add src ty know
+    | None -> know
+  in
+  { st with know }
+
+let kill_globals st =
+  let not_glob = function Key.Kglob _ -> false | _ -> true in
+  {
+    know = KM.filter (fun k _ -> not_glob k) st.know;
+    orig = KM.filter (fun k src -> not_glob k && not_glob src) st.orig;
+  }
+
+(* A call clobbers every temporary register at or above the base except
+   the spilled-and-reloaded register-cached locals. *)
+let kill_call_temps st ~base ~saves =
+  let lo = Reg.temp base in
+  let clobbered = function
+    | Key.Kreg r -> r >= lo && not (List.mem_assoc r saves)
+    | Key.Kslot _ | Key.Kglob _ -> false
+  in
+  {
+    know = KM.filter (fun k _ -> not (clobbered k)) st.know;
+    orig =
+      KM.filter (fun k src -> not (clobbered k || clobbered src)) st.orig;
+  }
+
+let const_ty = function
+  | Ast.Cint _ -> Scheme.Int
+  | Ast.Csym _ -> Scheme.Symbol
+  | Ast.Clist [] -> Scheme.Symbol (* nil *)
+  | Ast.Clist _ -> Scheme.Pair
+
+(* State after executing a non-branching op from state [st]. *)
+let transfer st (op : Tir.op) =
+  match op with
+  | Tir.Label _ -> st
+  | Tir.Constop { dst; c } -> write st (Key.Kreg dst) (Some (const_ty c))
+  | Tir.Consttrue { dst } -> write st (Key.Kreg dst) (Some Scheme.Symbol)
+  | Tir.Loadvar { dst; src } -> copy_from st (Key.Kreg dst) (key_of_loc src)
+  | Tir.Storevar { dst; src } | Tir.Bind { dst; src } ->
+      write st (key_of_loc dst) (KM.find_opt (Key.Kreg src) st.know)
+  | Tir.Checkty { v; ty; _ } -> refine st v ty
+  | Tir.Checkint { v; _ } -> refine st v Scheme.Int
+  | Tir.Fieldload { r; ty; result_int; _ } ->
+      let st = refine st r ty in
+      write st (Key.Kreg r) (if result_int then Some Scheme.Int else None)
+  | Tir.Fieldstore { robj; rval; ty; result_obj; _ } ->
+      let st = refine st robj ty in
+      if result_obj then st
+      else write st (Key.Kreg robj) (KM.find_opt (Key.Kreg rval) st.know)
+  | Tir.Consop { rd; scratch; _ } ->
+      let st = write st (Key.Kreg rd) (Some Scheme.Pair) in
+      write st (Key.Kreg scratch) None
+  | Tir.Arith { ra; _ } ->
+      (* The result may be a boxnum (generic fallback on overflow). *)
+      write st (Key.Kreg ra) None
+  | Tir.Logic { ra; _ } -> write st (Key.Kreg ra) (Some Scheme.Int)
+  | Tir.Mkvect { r } -> write st (Key.Kreg r) (Some Scheme.Vector)
+  | Tir.Makebox { r } -> write st (Key.Kreg r) (Some Scheme.Boxnum)
+  | Tir.Vecref { rv; relt; scratch; store; _ } ->
+      let st = refine st rv Scheme.Vector in
+      let st = write st (Key.Kreg scratch) None in
+      if store then
+        write st (Key.Kreg rv) (KM.find_opt (Key.Kreg relt) st.know)
+      else write st (Key.Kreg rv) None
+  | Tir.Gccount { r } -> write st (Key.Kreg r) (Some Scheme.Int)
+  | Tir.Reclaim { r } -> write st (Key.Kreg r) (Some Scheme.Symbol) (* nil *)
+  | Tir.Calluser { base; saves; _ } | Tir.Funcall { base; saves; _ } ->
+      let st = kill_globals st in
+      let st = kill_call_temps st ~base ~saves in
+      write st (Key.Kreg (Reg.temp base)) None
+  | Tir.Jump _ | Tir.Branch _ | Tir.Tybranch _ | Tir.Intbranch _
+  | Tir.Traperror ->
+      st
+
+(* Pointwise intersection: keep only facts both predecessors agree
+   on. *)
+let join a b =
+  {
+    know =
+      KM.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some tx, Some ty when tx = ty -> Some tx
+          | _ -> None)
+        a.know b.know;
+    orig =
+      KM.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some kx, Some ky when kx = ky -> Some kx
+          | _ -> None)
+        a.orig b.orig;
+  }
+
+let equal_state a b =
+  KM.equal ( = ) a.know b.know && KM.equal ( = ) a.orig b.orig
+
+(* Successor edges of op [i] as (index, state-at-entry) pairs. *)
+let edges ops label_ix i st =
+  let op = ops.(i) in
+  let target l : int = Hashtbl.find label_ix l in
+  match op with
+  | Tir.Jump l -> [ (target l, st) ]
+  | Tir.Branch { target = l; _ } -> [ (i + 1, st); (target l, st) ]
+  | Tir.Tybranch { v; ty; sense; target = l } -> (
+      match sense with
+      | `Is -> [ (i + 1, st); (target l, refine st v ty) ]
+      | `Is_not -> [ (i + 1, refine st v ty); (target l, st) ] )
+  | Tir.Intbranch { v; sense; target = l } -> (
+      match sense with
+      | `Is -> [ (i + 1, st); (target l, refine st v Scheme.Int) ]
+      | `Is_not -> [ (i + 1, refine st v Scheme.Int); (target l, st) ] )
+  | Tir.Traperror -> []
+  | op -> [ (i + 1, transfer st op) ]
+
+(* Compute the state at entry to every op (None = unreachable). *)
+let analyze (ops : Tir.op array) =
+  let n = Array.length ops in
+  let label_ix = Hashtbl.create 16 in
+  Array.iteri
+    (fun i op ->
+      match op with Tir.Label l -> Hashtbl.replace label_ix l i | _ -> ())
+    ops;
+  let states = Array.make n None in
+  let work = Queue.create () in
+  let push i st =
+    if i < n then begin
+      let merged =
+        match states.(i) with None -> st | Some old -> join old st
+      in
+      match states.(i) with
+      | Some old when equal_state old merged -> ()
+      | _ ->
+          states.(i) <- Some merged;
+          Queue.add i work
+    end
+  in
+  if n > 0 then push 0 empty;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    match states.(i) with
+    | None -> ()
+    | Some st -> List.iter (fun (j, s) -> push j s) (edges ops label_ix i st)
+  done;
+  states
+
+(* Delete proven checks and downgrade arithmetic; returns the rewritten
+   function and the number of checks eliminated (a static count,
+   independent of scheme and support). *)
+let run (tf : Tir.fn) : Tir.fn * int =
+  let ops = Array.of_list tf.Tir.f_ops in
+  let states = analyze ops in
+  let eliminated = ref 0 in
+  let known st k ty = KM.find_opt k st.know = Some ty in
+  let out = ref [] in
+  Array.iteri
+    (fun i op ->
+      match states.(i) with
+      | None -> out := op :: !out
+      | Some st -> (
+          match op with
+          | Tir.Checkty { v; ty; _ } when known st (Key.Kreg v) ty ->
+              incr eliminated
+          | Tir.Checkint { v; _ } when known st (Key.Kreg v) Scheme.Int ->
+              incr eliminated
+          | Tir.Arith ({ ra; rb; a_int; b_int; _ } as a) ->
+              let a_int' = a_int || known st (Key.Kreg ra) Scheme.Int in
+              let b_int' = b_int || known st (Key.Kreg rb) Scheme.Int in
+              if a_int' && not a_int then incr eliminated;
+              if b_int' && not b_int then incr eliminated;
+              out :=
+                Tir.Arith { a with a_int = a_int'; b_int = b_int' } :: !out
+          | op -> out := op :: !out))
+    ops;
+  ({ tf with Tir.f_ops = List.rev !out }, !eliminated)

@@ -56,8 +56,11 @@ module Ast = Tagsim_lisp.Ast
    instruction set, or the object layout below.  (Changes that alter
    emitted code also alter measurements, so they bump the measurement
    cache's [Cache.version] as well; a format-only change here bumps
-   this stamp alone.) *)
-let version = "1"
+   this stamp alone.)
+   2: the optimization level joined the key, and objects record their
+   eliminated-check count — a pre-refactor entry can never satisfy a
+   post-refactor lookup. *)
+let version = "2"
 
 (* L2 configuration, set once by the CLI/bench entry point before any
    fan-out.  Disabled by default: library users (tests above all) opt
@@ -88,6 +91,7 @@ let reset_counters () =
 type obj = {
   o_frag : Link.fragment;
   o_interned : string list; (* intern effect, in intern order *)
+  o_elided : int; (* checks the optimizer deleted building this unit *)
 }
 
 (* --- Keys. --- *)
@@ -230,13 +234,15 @@ let env_fingerprint symtab funcs =
   Digest.to_hex
     (Digest.string (String.concat "\x00" (cells @ ("|" :: arities))))
 
-let key ~kind ~fingerprint ~env ~(scheme : Scheme.t) ~support_token ~sched =
+let key ~kind ~fingerprint ~env ~(scheme : Scheme.t) ~support_token ~sched
+    ~(opt : Tir.opt) =
   Digest.to_hex
     (Digest.string
        (String.concat "\n"
           [
             "tagsim-obj"; version; kind; fingerprint; env;
             scheme.Scheme.name; support_token; sched_token sched;
+            Tir.opt_token opt;
           ]))
 
 let entry_path k = Filename.concat !dir_ref (k ^ ".obj")
@@ -445,6 +451,7 @@ let serialize (o : obj) =
   let b = Buffer.create 4096 in
   let line s = Buffer.add_string b s; Buffer.add_char b '\n' in
   line ("tagsim-obj " ^ version);
+  line ("elided " ^ string_of_int o.o_elided);
   List.iter (fun l -> line ("local " ^ l)) o.o_frag.Link.f_locals;
   List.iter (fun s -> line ("sym " ^ s)) o.o_interned;
   List.iter
@@ -491,6 +498,7 @@ let parse ~(scheme : Scheme.t) (text : string) : obj =
     | _ -> raise Malformed
   in
   let locals = ref [] and syms = ref [] and code = ref [] and data = ref [] in
+  let elided = ref 0 in
   let saw_end = ref false in
   let rec go = function
     | [] -> ()
@@ -499,6 +507,7 @@ let parse ~(scheme : Scheme.t) (text : string) : obj =
         else
           (match split line with
           | [ "end" ] -> saw_end := true
+          | [ "elided"; n ] -> elided := num n
           | "local" :: [ l ] -> locals := l :: !locals
           | "sym" :: [ s ] -> syms := s :: !syms
           | "L" :: [ l ] -> code := Buf.L l :: !code
@@ -554,6 +563,7 @@ let parse ~(scheme : Scheme.t) (text : string) : obj =
         f_locals = List.rev !locals;
       };
     o_interned = List.rev !syms;
+    o_elided = !elided;
   }
 
 (* --- Store operations (same discipline as the measurement cache). --- *)

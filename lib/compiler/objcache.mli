@@ -41,6 +41,11 @@ type obj = {
           units see the same symbol-table whether the object was built
           or cached; interning is idempotent, so replaying after a
           fresh build is a no-op. *)
+  o_elided : int;
+      (** How many checks the check-elimination pass deleted while
+          building this unit (0 unless the unit was compiled with
+          [`Checks]); preserved across cache hits so artifact reporting
+          survives warm compiles. *)
 }
 
 (** {1 Keys} *)
@@ -69,7 +74,9 @@ val env_fingerprint : Symtab.t -> (string, int) Hashtbl.t -> string
 (** Cache key (hex digest).  [kind] distinguishes unit flavours
     (["fn"], ["rt"], ["startup"]); [fingerprint] is the unit's content
     fingerprint; [env] the {!env_fingerprint}; [support_token] the
-    projected {!support_token}. *)
+    projected {!support_token}; [opt] the optimization level the unit
+    was compiled under (projected to [`None] for the startup and
+    runtime units, which the optimizer never sees). *)
 val key :
   kind:string ->
   fingerprint:string ->
@@ -77,6 +84,7 @@ val key :
   scheme:Tagsim_tags.Scheme.t ->
   support_token:string ->
   sched:Tagsim_asm.Sched.config ->
+  opt:Tir.opt ->
   string
 
 (** {1 Lookup} *)

@@ -87,6 +87,9 @@ type meta = {
   procedures : int;
   source_lines : int; (* non-blank lines of retained source *)
   object_words : int;
+  checks_eliminated : int;
+      (* checks deleted by the optimizer across all functions (0 with
+         optimization off or under the monolithic backend) *)
 }
 
 (** The config-independent front half of the pipeline: the pruned
@@ -186,6 +189,7 @@ let analyze source : frontend =
   }
 
 type backend = [ `Monolithic | `Incremental ]
+type opt = Tir.opt
 
 (* The monolithic backend: one buffer, whole-program scheduling inside
    [Image.assemble].  Kept verbatim as the incremental backend's
@@ -213,40 +217,56 @@ let backend_monolithic ~sched ~scheme ~support ~symtab ~funcs retained =
    scheduling would produce; [Link.link] then resolves cross-unit
    references.  Units come from the content-addressed {!Objcache}
    whenever an identical unit (same content, symbol-table environment,
-   scheme, projected support, scheduler config) was compiled before —
-   in this process or, with the persistent store enabled, by an earlier
-   one.  Cache hits skip codegen and scheduling entirely; only the
-   cheap link pass remains. *)
-let backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained =
+   scheme, projected support, scheduler config, optimization level) was
+   compiled before — in this process or, with the persistent store
+   enabled, by an earlier one.  Cache hits skip compilation and
+   scheduling entirely; only the cheap link pass remains.
+
+   Function units run the staged pipeline — {!Lower} (AST -> TIR),
+   optionally {!Checkelim}, then {!Select} — whose opt-off output is
+   byte-identical to {!Codegen.compile_def} (the monolithic oracle
+   above; [test/suite_tir.ml] proves it differentially).  The startup
+   and runtime units contain no user code, so [opt] is projected to
+   [`None] in their keys and they share objects across optimization
+   levels.  Returns the image plus the total number of checks the
+   optimizer eliminated (preserved across cache hits via the objects'
+   [o_elided]). *)
+let backend_incremental ~sched ~scheme ~support ~symtab ~funcs ~opt retained =
   let build_unit emit =
     let before = Symtab.count symtab in
     let buf = Buf.create () in
     let ctx = { Emit.b = buf; scheme; support } in
-    Bphase.time Bphase.Codegen (fun () -> emit ctx);
+    let elided = emit ctx in
     let frag =
       Bphase.time Bphase.Schedule (fun () -> Link.fragment_of_buf ~sched buf)
     in
-    { Objcache.o_frag = frag; o_interned = Symtab.names_from symtab before }
+    {
+      Objcache.o_frag = frag;
+      o_interned = Symtab.names_from symtab before;
+      o_elided = elided;
+    }
   in
   (* The environment fingerprint is taken at the unit's start, and the
      unit's intern effect is replayed after every lookup (idempotent
      when the build just performed it), so the symbol table evolves
      identically on hits and misses and later units key against the
      same environment either way. *)
-  let cached ~kind ~fingerprint ~support_token emit =
+  let cached ~kind ~fingerprint ~support_token ~opt emit =
     let env = Objcache.env_fingerprint symtab funcs in
     let k =
-      Objcache.key ~kind ~fingerprint ~env ~scheme ~support_token ~sched
+      Objcache.key ~kind ~fingerprint ~env ~scheme ~support_token ~sched ~opt
     in
     let o = Objcache.find_or_build ~scheme ~key:k ~build:(fun () -> build_unit emit) in
     List.iter (fun s -> ignore (Symtab.intern symtab s)) o.Objcache.o_interned;
-    (k, o.Objcache.o_frag)
+    (k, o)
   in
   let full_token = Objcache.support_token support in
   let startup =
     cached ~kind:"startup" ~fingerprint:(L.fn_label "main")
-      ~support_token:full_token (fun ctx ->
-        Rt.emit_startup ctx ~main_label:(L.fn_label "main"))
+      ~support_token:full_token ~opt:`None (fun ctx ->
+        Bphase.time Bphase.Codegen (fun () ->
+            Rt.emit_startup ctx ~main_label:(L.fn_label "main"));
+        0)
   in
   let fn_frags =
     List.map
@@ -255,14 +275,31 @@ let backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained =
           ~support_token:
             (Objcache.support_token ~uses_arith:(Objcache.def_uses_arith d)
                support)
-          (fun ctx -> Codegen.compile_def ctx symtab funcs d))
+          ~opt
+          (fun ctx ->
+            let tf =
+              Bphase.time Bphase.Lower (fun () -> Lower.def symtab funcs d)
+            in
+            let tf, elided =
+              match opt with
+              | `None -> (tf, 0)
+              | `Checks -> Bphase.time Bphase.Opt (fun () -> Checkelim.run tf)
+            in
+            Bphase.time Bphase.Select (fun () -> Select.fn ctx symtab tf);
+            elided))
       retained
   in
-  let rt = cached ~kind:"rt" ~fingerprint:"routines" ~support_token:full_token
-      Rt.emit_routines
+  let rt =
+    cached ~kind:"rt" ~fingerprint:"routines" ~support_token:full_token
+      ~opt:`None (fun ctx ->
+        Bphase.time Bphase.Codegen (fun () -> Rt.emit_routines ctx);
+        0)
   in
-  let keys, frags =
-    List.split ((startup :: fn_frags) @ [ rt ])
+  let units = (startup :: fn_frags) @ [ rt ] in
+  let keys = List.map fst units in
+  let frags = List.map (fun (_, o) -> o.Objcache.o_frag) units in
+  let elided =
+    List.fold_left (fun n (_, o) -> n + o.Objcache.o_elided) 0 units
   in
   (* The whole linked image is memoised under the ordered unit-key
      list: a configuration seen before (the steady state of a matrix
@@ -271,17 +308,20 @@ let backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained =
      never cached itself — leads the layout (code starts with the
      startup unit, since the block has no code): the table stays the
      first static datum, at [L.symtab_base]. *)
-  Objcache.find_image ~keys ~build:(fun () ->
-      let symtab_frag =
-        let b = Buf.create () in
-        Symtab.emit_data symtab scheme b;
-        Link.fragment_of_buf ~sched b
-      in
-      Bphase.time Bphase.Link (fun () -> Link.link (symtab_frag :: frags)))
+  let image =
+    Objcache.find_image ~keys ~build:(fun () ->
+        let symtab_frag =
+          let b = Buf.create () in
+          Symtab.emit_data symtab scheme b;
+          Link.fragment_of_buf ~sched b
+        in
+        Bphase.time Bphase.Link (fun () -> Link.link (symtab_frag :: frags)))
+  in
+  (image, elided)
 
-let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
-    ?(sizes = L.default_sizes) ?(mem_bytes = 1 lsl 22) ~scheme ~support
-    (fe : frontend) : t =
+let compile_frontend ?(backend = `Incremental) ?(opt = `None)
+    ?(sched = Sched.default) ?(sizes = L.default_sizes)
+    ?(mem_bytes = 1 lsl 22) ~scheme ~support (fe : frontend) : t =
   let retained = fe.fe_retained in
   (* 3. Compile. *)
   let symtab = Symtab.with_builtins () in
@@ -292,12 +332,15 @@ let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
       Symtab.mark_function symtab n;
       ignore (Symtab.intern symtab n))
     retained;
-  let image =
+  let image, checks_eliminated =
     match backend with
     | `Monolithic ->
-        backend_monolithic ~sched ~scheme ~support ~symtab ~funcs retained
+        (* The differential oracle ignores [opt]: it always emits the
+           unoptimized, fully checked code. *)
+        (backend_monolithic ~sched ~scheme ~support ~symtab ~funcs retained, 0)
     | `Incremental ->
-        backend_incremental ~sched ~scheme ~support ~symtab ~funcs retained
+        backend_incremental ~sched ~scheme ~support ~symtab ~funcs ~opt
+          retained
   in
   assert (Image.data_address image L.l_symtab = L.symtab_base);
   (* 5. Metadata for Table 3. *)
@@ -306,6 +349,7 @@ let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
       procedures = fe.fe_procedures;
       source_lines = fe.fe_source_lines;
       object_words = Image.size_in_words image;
+      checks_eliminated;
     }
   in
   {
@@ -321,8 +365,8 @@ let compile_frontend ?(backend = `Incremental) ?(sched = Sched.default)
     tstate_cache = None;
   }
 
-let compile ?backend ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
-  compile_frontend ?backend ?sched ?sizes ?mem_bytes ~scheme ~support
+let compile ?backend ?opt ?sched ?sizes ?mem_bytes ~scheme ~support source : t =
+  compile_frontend ?backend ?opt ?sched ?sizes ?mem_bytes ~scheme ~support
     (analyze source)
 
 (* --- Loading and running. --- *)
@@ -476,6 +520,7 @@ let run ?fuel ?engine t : result =
   }
 
 (** Compile and run in one step. *)
-let run_source ?sched ?sizes ?mem_bytes ?fuel ?engine ~scheme ~support source =
-  let t = compile ?sched ?sizes ?mem_bytes ~scheme ~support source in
+let run_source ?opt ?sched ?sizes ?mem_bytes ?fuel ?engine ~scheme ~support
+    source =
+  let t = compile ?opt ?sched ?sizes ?mem_bytes ~scheme ~support source in
   (t, run ?fuel ?engine t)

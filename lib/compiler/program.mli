@@ -13,11 +13,14 @@ module L := Tagsim_runtime.Layout
 
 exception Error of string
 
-(** Static metadata, for Table 3. *)
+(** Static metadata, for Table 3 (and the elision artifact). *)
 type meta = {
   procedures : int; (* retained definitions, prelude included *)
   source_lines : int; (* non-blank lines of retained source *)
   object_words : int;
+  checks_eliminated : int;
+      (* checks the optimizer deleted across all units; 0 under
+         [`None] and for the monolithic oracle *)
 }
 
 type t = {
@@ -65,10 +68,19 @@ val analyze : string -> frontend
     Both produce byte-identical images ({!Tagsim_asm.Image.equal}). *)
 type backend = [ `Monolithic | `Incremental ]
 
-(** The config-dependent back half: codegen, scheduling, linking (or,
-    for the monolithic backend, whole-program assembly). *)
+(** Optimization level for the incremental backend's TIR pipeline:
+    [`None] (default) selects straight from the lowered IR and is
+    byte-identical to the monolithic oracle; [`Checks] runs the
+    tag-knowledge check-elimination pass ({!Checkelim}) first.  The
+    monolithic oracle ignores the knob (always unoptimized). *)
+type opt = Tir.opt
+
+(** The config-dependent back half: lowering, optimization, selection,
+    scheduling, linking (or, for the monolithic backend, whole-program
+    codegen and assembly). *)
 val compile_frontend :
   ?backend:backend ->
+  ?opt:opt ->
   ?sched:Sched.config ->
   ?sizes:L.sizes ->
   ?mem_bytes:int ->
@@ -80,6 +92,7 @@ val compile_frontend :
 (** [compile_frontend] of [analyze]: the one-shot pipeline. *)
 val compile :
   ?backend:backend ->
+  ?opt:opt ->
   ?sched:Sched.config ->
   ?sizes:L.sizes ->
   ?mem_bytes:int ->
@@ -125,6 +138,7 @@ val run : ?fuel:int -> ?engine:Machine.engine -> t -> result
 
 (** Compile and run in one step. *)
 val run_source :
+  ?opt:opt ->
   ?sched:Sched.config ->
   ?sizes:L.sizes ->
   ?mem_bytes:int ->

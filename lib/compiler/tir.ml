@@ -1,0 +1,141 @@
+(* Typed mid-level tag-operation IR.
+
+   Every tag insertion, removal, extraction, check, generic-arith
+   dispatch and allocation in the compiled program appears here as an
+   explicit typed operation carrying enough classification to
+   reconstruct its [Annot] at selection time.  The IR is
+   scheme-agnostic: [Lower] makes all shape decisions (register
+   assignment, frame layout, control-flow labels) while the selector
+   ([Select]) owns every scheme x support instruction sequence via
+   [Runtime.Emit].
+
+   Values are virtual only in the sense that register-cached locals
+   carry their spill home alongside the register number; the register
+   assignment itself is fixed by lowering so that, with optimization
+   off, selection reproduces the monolithic code generator's output
+   byte for byte. *)
+
+module Insn = Tagsim_mipsx.Insn
+module Annot = Tagsim_mipsx.Annot
+module Scheme = Tagsim_tags.Scheme
+module Ast = Tagsim_lisp.Ast
+
+type opt = [ `None | `Checks ]
+
+let opt_token = function `None -> "none" | `Checks -> "checks"
+
+(* Where a variable lives.  [Lreg (r, home)] is a register-cached local
+   with its frame spill slot; [Lslot off] is a frame slot; [Lglobal s]
+   is a symbol's value cell. *)
+type loc = Lreg of int * int | Lslot of int | Lglobal of string
+
+type arith_kind = A_add | A_sub | A_mul | A_div | A_rem
+
+type op =
+  | Label of string
+  | Jump of string
+  | Branch of {
+      cond : Insn.cond;
+      ra : int;
+      rb : int;
+      hint : Insn.hint;
+      target : string;
+    }
+  (* Type-dispatch branch: semantics-bearing (type predicates), never
+     elided by optimization. *)
+  | Tybranch of {
+      v : int;
+      ty : Scheme.ty;
+      sense : [ `Is | `Is_not ];
+      target : string;
+    }
+  (* Fixnum-dispatch branch (numberp): semantics-bearing, never
+     elided. *)
+  | Intbranch of { v : int; sense : [ `Is | `Is_not ]; target : string }
+  | Constop of { dst : int; c : Ast.const }
+  | Consttrue of { dst : int }
+  | Loadvar of { dst : int; src : loc }
+  | Storevar of { dst : loc; src : int }
+  (* Let-binding initialisation: like Storevar but the destination is
+     being created, not mutated. *)
+  | Bind of { dst : loc; src : int }
+  (* A checking-gated type check that traps to the error handler when
+     [v] is not of type [ty].  [unless_parallel] marks checks that the
+     monolithic generator suppresses when the support's
+     parallel-checking hardware covers [ty] (field and vector access);
+     funcall's symbol check is emitted regardless.  These are the ops
+     the check-elimination pass may delete. *)
+  | Checkty of {
+      v : int;
+      ty : Scheme.ty;
+      kind : Annot.source;
+      unless_parallel : bool;
+    }
+  (* A checking-gated fixnum check on [v]. *)
+  | Checkint of { v : int; kind : Annot.source }
+  (* Tag-stripped field load: car/cdr/plist/unbox/vlen.  [result_int]
+     marks loads whose result is a raw word (lengths), not an object. *)
+  | Fieldload of { r : int; ty : Scheme.ty; off : int; result_int : bool }
+  (* Tag-stripped field store: rplaca/rplacd/setplist.  [result_obj]
+     leaves the object (not the stored value) in [robj]. *)
+  | Fieldstore of {
+      robj : int;
+      rval : int;
+      ty : Scheme.ty;
+      off : int;
+      result_obj : bool;
+    }
+  (* Inline pair allocation (cons) with heap-limit branch to the GC
+     stub; [rd] holds the car on entry and the tagged pair on exit. *)
+  | Consop of { rd : int; rcdr : int; scratch : int }
+  (* Generic arithmetic.  [a_int]/[b_int] record operands statically
+     known to be fixnums (literals at lowering time; refined by the
+     check-elimination pass), which elide the corresponding dynamic
+     tests. *)
+  | Arith of {
+      kind : arith_kind;
+      ra : int;
+      rb : int;
+      a_int : bool;
+      b_int : bool;
+    }
+  | Logic of { aluop : Insn.alu; ra : int; rb : int }
+  | Mkvect of { r : int }
+  | Makebox of { r : int }
+  (* Vector read/write with bounds check; [relt] is meaningful only
+     when [store]. *)
+  | Vecref of {
+      rv : int;
+      ri : int;
+      relt : int;
+      scratch : int;
+      store : bool;
+    }
+  | Gccount of { r : int }
+  | Reclaim of { r : int }
+  | Traperror
+  (* Direct call to a user function; [saves] are the register-cached
+     locals (reg, spill home) live across the call. *)
+  | Calluser of {
+      name : string;
+      base : int;
+      nargs : int;
+      saves : (int * int) list;
+    }
+  (* Indirect call through a symbol's function cell at [base]. *)
+  | Funcall of { base : int; nargs : int; saves : (int * int) list }
+
+type fn = {
+  f_name : string;
+  f_frame_bytes : int;
+  f_params : loc list;
+  f_ops : op list;
+}
+
+(* Frame layout, shared by lowering (slot assignment) and selection
+   (prologue/epilogue and call spills).  Must match the monolithic
+   generator exactly. *)
+
+let off_ra = 0
+let off_temp_spill i = 4 + (4 * i)
+let off_locals n_temp_pool = 4 + (4 * n_temp_pool)

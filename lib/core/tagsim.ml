@@ -41,6 +41,11 @@ module Emit = Tagsim_runtime.Emit
 module Rt = Tagsim_runtime.Rt
 module Symtab = Tagsim_compiler.Symtab
 module Codegen = Tagsim_compiler.Codegen
+module Tir = Tagsim_compiler.Tir
+module Lower = Tagsim_compiler.Lower
+module Select = Tagsim_compiler.Select
+module Checkelim = Tagsim_compiler.Checkelim
+module Bphase = Tagsim_compiler.Bphase
 module Objcache = Tagsim_compiler.Objcache
 module Prelude = Tagsim_compiler.Prelude
 module Program = Tagsim_compiler.Program
@@ -61,4 +66,5 @@ module Analysis = struct
   module Garith = Tagsim_analysis.Garith
   module Profile = Tagsim_analysis.Profile
   module Ablations = Tagsim_analysis.Ablations
+  module Elision = Tagsim_analysis.Elision
 end

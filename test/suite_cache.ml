@@ -119,12 +119,31 @@ let test_stale_version_entry () =
         ^ String.sub text (String.index text '\n')
             (String.length text - String.index text '\n')))
 
+(* A faithful pre-refactor (version-1) entry — old header, three-int
+   meta line — planted at the current key's path can never satisfy a
+   post-refactor lookup: the header check rejects it before the meta
+   line is even reached. *)
+let test_previous_version_entry () =
+  damaged_entry_recomputes "previous-version" (fun path ->
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let downgrade line =
+        match String.split_on_char ' ' line with
+        | "tagsim-cache" :: _ -> "tagsim-cache 1"
+        | "meta" :: p :: s :: o :: _ -> String.concat " " [ "meta"; p; s; o ]
+        | _ -> line
+      in
+      overwrite path
+        (String.concat "\n"
+           (List.map downgrade (String.split_on_char '\n' text))))
+
 (* --- the key changes with every configuration axis --- *)
 
 let test_key_sensitivity () =
-  let key ?(sched = Sched.default) ?(scheme = Scheme.high5)
+  let key ?(sched = Sched.default) ?(opt = `None) ?(scheme = Scheme.high5)
       ?(support = Support.software) entry =
-    Cache.key ~sched ~scheme ~support entry
+    Cache.key ~sched ~opt ~scheme ~support entry
   in
   let base = key (inter ()) in
   Alcotest.(check bool) "deterministic" true (base = key (inter ()));
@@ -134,6 +153,8 @@ let test_key_sensitivity () =
     (base = key ~support:(Support.with_checking Support.software) (inter ()));
   Alcotest.(check bool) "sched changes key" false
     (base = key ~sched:Sched.off (inter ()));
+  Alcotest.(check bool) "opt changes key" false
+    (base = key ~opt:`Checks (inter ()));
   Alcotest.(check bool) "program changes key" false
     (base = key (B.find "deduce"));
   (* deduce and dedgc share one source but differ in heap sizing: the
@@ -193,6 +214,8 @@ let suite =
         Alcotest.test_case "corrupt-entry" `Quick test_corrupt_entry;
         Alcotest.test_case "truncated-entry" `Quick test_truncated_entry;
         Alcotest.test_case "stale-version" `Quick test_stale_version_entry;
+        Alcotest.test_case "previous-version" `Quick
+          test_previous_version_entry;
         Alcotest.test_case "key-sensitivity" `Quick test_key_sensitivity;
         Alcotest.test_case "no-cache-bypass" `Quick test_no_cache_bypass;
         Alcotest.test_case "staged-pipeline" `Quick test_staged_pipeline;

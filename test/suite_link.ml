@@ -17,11 +17,16 @@ module Sched = Tagsim.Sched
 module Ast = Tagsim.Ast
 module Expand = Tagsim.Expand
 
-let test_dir = "_tagsim_objcache_test"
+(* A unique store directory per test-process run, under the system temp
+   directory — never the working tree (a suite crash must not leave
+   droppings next to the sources). *)
+let test_dir = Filename.temp_dir "_tagsim_objcache_test" ""
 
-(* Point the object store at a private directory, start with both
+let rmdir_if_empty d = try Sys.rmdir d with Sys_error _ -> ()
+
+(* Point the object store at the private directory, start with both
    levels empty, and leave the library in its default (store disabled,
-   empty memo) state afterwards. *)
+   empty memo) state afterwards; the directory itself is removed. *)
 let with_store f =
   Objcache.set_dir test_dir;
   Objcache.set_enabled true;
@@ -31,6 +36,7 @@ let with_store f =
   Fun.protect
     ~finally:(fun () ->
       Objcache.wipe ();
+      rmdir_if_empty test_dir;
       Objcache.set_enabled false;
       Objcache.set_dir (Filename.concat "_tagsim_cache" "obj");
       Objcache.clear_memo ())
@@ -109,11 +115,11 @@ let test_key_sensitivity () =
   let d = def_of "(de f (x) (car x))" in
   let darith = def_of "(de f (x) (plus2 x 1))" in
   let base ?(scheme = Scheme.high5) ?(support = Support.software)
-      ?(sched = Sched.default) ?(env = "env0") ?(fingerprint = Objcache.def_fingerprint d)
-      ?(uses_arith = false) () =
+      ?(sched = Sched.default) ?(opt = `None) ?(env = "env0")
+      ?(fingerprint = Objcache.def_fingerprint d) ?(uses_arith = false) () =
     Objcache.key ~kind:"fn" ~fingerprint ~env ~scheme
       ~support_token:(Objcache.support_token ~uses_arith support)
-      ~sched
+      ~sched ~opt
   in
   let k = base () in
   Alcotest.(check bool) "deterministic" true (k = base ());
@@ -122,6 +128,7 @@ let test_key_sensitivity () =
   Alcotest.(check bool) "support flips key" true (k <> base ~support:row1 ());
   Alcotest.(check bool) "sched flips key" true
     (k <> base ~sched:{ Sched.default with Sched.hoist = false } ());
+  Alcotest.(check bool) "opt flips key" true (k <> base ~opt:`Checks ());
   Alcotest.(check bool) "env flips key" true (k <> base ~env:"env1" ());
   Alcotest.(check bool) "source flips key" true
     (k <> base ~fingerprint:(Objcache.def_fingerprint darith) ());
@@ -191,6 +198,20 @@ let stale path =
       overwrite path
         ("tagsim-obj none" ^ String.sub text i (String.length text - i))
 
+(* The pre-refactor stamp specifically: a version-1 object (from before
+   the optimization level joined the key) can never satisfy a lookup
+   under the current format. *)
+let stale_v1 path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match String.index_opt text '\n' with
+  | None -> Alcotest.fail "empty object file"
+  | Some i ->
+      overwrite path
+        ("tagsim-obj 1" ^ String.sub text i (String.length text - i))
+
 let suite =
   [
     ( "link",
@@ -207,5 +228,7 @@ let suite =
           (damaged_store_recomputes "truncated" truncate);
         Alcotest.test_case "stale-object" `Quick
           (damaged_store_recomputes "stale" stale);
+        Alcotest.test_case "previous-version-object" `Quick
+          (damaged_store_recomputes "previous-version" stale_v1);
       ] );
   ]

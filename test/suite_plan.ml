@@ -81,9 +81,9 @@ let test_golden_numbers () =
     Planner.plan ~jobs:1 ~engine:`Reference ~entries Planner.artifacts
   in
   Alcotest.(check (list string))
-    "all seven artifacts, output order"
+    "all eight artifacts, output order"
     [ "table1"; "figure1"; "figure2"; "table2"; "table3"; "garith";
-      "ablations" ]
+      "ablations"; "elision" ]
     (List.map (fun r -> r.Spec.r_name) rendered);
   let data name =
     (List.find (fun r -> r.Spec.r_name = name) rendered).Spec.r_json
@@ -173,7 +173,7 @@ let test_support_names () =
 let test_planner_registry () =
   Alcotest.(check (list string)) "canonical artifact order"
     [ "table1"; "figure1"; "figure2"; "table2"; "table3"; "garith";
-      "ablations" ]
+      "ablations"; "elision" ]
     (Planner.names ());
   Alcotest.(check bool) "find unknown" true (Planner.find "table9" = None)
 
