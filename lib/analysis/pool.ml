@@ -27,6 +27,15 @@ let recommended () = max 1 (min 16 (Domain.recommended_domain_count ()))
 let set_default_jobs jobs =
   default_jobs := (if jobs <= 0 then recommended () else jobs)
 
+(* Longest-job-first dispatch order: a stable sort by [weight],
+   heaviest first.  With the pool pulling tasks off a shared counter,
+   the makespan is tail-bound by whatever runs last — scheduling the
+   big jobs first keeps the tail short (classic LPT list scheduling).
+   Only the caller's input order changes; [map] still returns results
+   in that (new) input order. *)
+let longest_first ~weight items =
+  List.stable_sort (fun a b -> compare (weight b : int) (weight a)) items
+
 let map ?jobs f items =
   let jobs = match jobs with Some j -> j | None -> !default_jobs in
   let jobs = if jobs <= 0 then recommended () else jobs in

@@ -14,4 +14,9 @@ val recommended : unit -> int
     {!recommended}. *)
 val set_default_jobs : int -> unit
 
+(** Longest-job-first dispatch order: a stable sort of [items] by
+    [weight], heaviest first, so a pool [map] over the result is not
+    tail-bound by a heavy job scheduled last. *)
+val longest_first : weight:('a -> int) -> 'a list -> 'a list
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -110,7 +110,11 @@ and block = {
     [ts_threshold] and [ts_form] runs (installing a trace or, when more
     profile is needed, resetting the counter to retry).  Shareable
     between machines running the same image; racy profile updates only
-    delay or repeat formation, never corrupt execution. *)
+    delay or repeat formation, never corrupt execution.  [ts_plans]
+    mirrors [ts_traces] as pure data (one {!Plan.trace} per installed
+    trace, newest first) so the run's discoveries can be flushed to the
+    persistent plan store at run end; [ts_dirty] is set only by online
+    formation, so a fully warm run flushes nothing. *)
 and tstate = {
   ts_traces : trace option array;
   ts_heat : int array;
@@ -120,6 +124,8 @@ and tstate = {
   ts_cnt2 : int array;
   ts_threshold : int;
   ts_form : t -> int -> unit;
+  mutable ts_plans : Plan.trace list; (* newest first *)
+  mutable ts_dirty : bool;
 }
 
 (** A compiled superblock trace (built by {!Trace}): [tr_exec] retires

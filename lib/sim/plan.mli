@@ -1,0 +1,91 @@
+(** Persistent superblock trace plans: the pure-data residue of the
+    traced engine's online profiling — per formed trace, the ordered
+    segment path (leader, terminator, junction, expected successor) and
+    the exit, with unroll and return-matching decisions already applied
+    — plus a content-addressed persistent store under
+    [_tagsim_cache/plan/] in the mould of [Cache]/[Objcache].  A loaded
+    plan is re-validated against the live image and pre-compiled on
+    attach ({!Trace.precompile}), so a warm process enters the traced
+    engine with its superblocks already installed; a damaged, stale or
+    mismatched plan silently falls back to online formation. *)
+
+module Image := Tagsim_asm.Image
+
+(** Bump on plan-format or trace-formation changes: participates in the
+    key digest and heads the payload, so entries from either side of a
+    bump are never hit (see the implementation header for the policy
+    versus [Cache]/[Objcache]). *)
+val version : string
+
+(** How a planned segment ends, and which successor the path expects.
+    [Trace] re-exports this by type equation: the plan records the
+    junction exactly as it was grown. *)
+type jct =
+  | Cond of { expect_taken : bool; target : int }
+  | Jump of { link : bool }
+  | Indirect of { rs : int; link : bool }
+
+(** One block of a superblock path; everything else the trace compiler
+    needs is re-derived from the image and validated on load. *)
+type seg = { ps_pc : int; ps_stop : int; ps_jct : jct; ps_next : int }
+
+(** One superblock: the (already unrolled) segment path and its exit. *)
+type trace = { pt_segs : seg array; pt_exit : int }
+
+(** A plan: every superblock formed for one image, in formation order. *)
+type t = trace list
+
+(** The leader pc of a planned trace ([pt_segs.(0).ps_pc]). *)
+val head : trace -> int
+
+(** {1 Store configuration} — CLI-owned, disabled by default, like the
+    other stores. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+val dir : unit -> string
+val set_dir : string -> unit
+
+(** [(hits, misses, writes)] — whole plan files. *)
+val counters : unit -> int * int * int
+
+(** Individual superblocks pre-compiled from loaded plans (the number a
+    warm run starts with). *)
+val traces_loaded : unit -> int
+
+val note_traces_loaded : int -> unit
+val reset_counters : unit -> unit
+
+(** {1 Keys} *)
+
+(** Content fingerprint of an image's code array (instructions,
+    annotations, speculation flags).  Sharing-insensitive: structurally
+    equal images fingerprint identically however they were built (cold
+    compile or relink from cached objects). *)
+val image_fingerprint : Image.t -> string
+
+(** Store key: digest of the image fingerprint, a caller-supplied
+    hardware/scheme token and the {!version} stamp. *)
+val key : fingerprint:string -> token:string -> string
+
+(** On-disk path of a key's entry (for tests). *)
+val entry_path : string -> string
+
+(** {1 (De)serialisation} — line-oriented text with a version header
+    and an ["end"] trailer; {!parse} raises on any damage. *)
+
+val serialize : t -> string
+
+exception Malformed
+
+val parse : string -> t
+
+(** {1 Store operations} — every failure mode on [load] is a miss;
+    [store] is atomic (temp + rename) and best-effort. *)
+
+val load : string -> t option
+val store : string -> t -> unit
+
+(** Remove every plan entry (and stray temp file) from the store
+    directory; only files this module created are touched. *)
+val wipe : unit -> unit

@@ -13,7 +13,7 @@ module Scheme = Tagsim.Scheme
 module Support = Tagsim.Support
 module Sched = Tagsim.Sched
 
-let test_dir = "_tagsim_cache_test"
+let test_dir = Filename.temp_dir "tagsim_cache_test" ""
 
 (* Point the store at a private directory, start empty, and leave the
    library in its default (disabled, empty-memo) state afterwards. *)
