@@ -101,6 +101,9 @@ let analyze_one test =
       in
       (name, ns) :: acc)
     tbl []
+  (* [Analyze.all] hands back a hash table; sort so the report's row
+     order is stable across processes. *)
+  |> List.sort compare
 
 let benchmark () =
   Fmt.pr "@.Bechamel kernels (wall-clock per regeneration kernel):@.";
@@ -485,9 +488,18 @@ let traceplan_benchmark () =
   let was_dir = Plan.dir () in
   (* A private, initially empty store: seeding is deterministic (the
      shared store would union plans across image-sharing programs and
-     earlier invocations, shifting the planned-trace counts). *)
-  Plan.set_dir (Filename.temp_dir "tagsim_bench_plan" "");
+     earlier invocations, shifting the planned-trace counts).  Wiped
+     and removed on every exit path, including exceptions. *)
+  let plan_dir = Filename.temp_dir "tagsim_bench_plan" "" in
+  Plan.set_dir plan_dir;
   Plan.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Plan.wipe ();
+      Plan.set_dir was_dir;
+      Plan.set_enabled was_enabled;
+      try Sys.rmdir plan_dir with Sys_error _ -> ())
+  @@ fun () ->
   let runs = 9 in
   let rows =
     List.map
@@ -546,9 +558,6 @@ let traceplan_benchmark () =
         (pname, planned, warm_formed, !cold, !warm))
       engine_programs
   in
-  Plan.wipe ();
-  Plan.set_dir was_dir;
-  Plan.set_enabled was_enabled;
   Fmt.pr "@.Traced-engine start, cold profile vs warm plan (high5, full \
           checking, best of %d):@." runs;
   List.iter

@@ -241,6 +241,124 @@ let profile_cmd =
        ~doc:"Per-function cycle profile of a benchmark run.")
     Term.(const run $ bench_name $ scheme $ checking $ config)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let module Cross = Tagsim.Fuzz.Cross in
+  let module Driver = Tagsim.Fuzz.Driver in
+  let run seed count max_size matrix shrink out =
+    let seed =
+      match seed with
+      | Some s -> s
+      | None ->
+          (* no seed given: derive one and echo it, so any CI failure
+             is replayable with [fuzz --seed S] *)
+          Unix.gettimeofday () *. 1e6
+          |> Int64.of_float
+          |> Int64.logand 0x3FFFFFFFL
+          |> Int64.to_int
+    in
+    Fmt.pr "fuzz: seed %d, %d programs, max size %d, matrix %s@." seed count
+      max_size matrix.Cross.m_name;
+    let report =
+      Driver.campaign
+        ~log:(fun line -> Fmt.pr "%s@." line)
+        ~shrink ~matrix ~seed ~count ~max_size ()
+    in
+    Fmt.pr "fuzz: %d programs checked, %d rejected by the compiler, %d \
+            divergence(s)@."
+      report.Driver.r_generated report.Driver.r_skipped
+      (List.length report.Driver.r_counterexamples);
+    (match report.Driver.r_counterexamples with
+    | [] -> ()
+    | cexs ->
+        (try Sys.mkdir out 0o777 with Sys_error _ -> ());
+        List.iter
+          (fun (c : Driver.counterexample) ->
+            let path =
+              Filename.concat out
+                (Fmt.str "cex_seed%d_prog%d.lisp" c.Driver.cx_seed
+                   c.Driver.cx_index)
+            in
+            let oc = open_out path in
+            Printf.fprintf oc
+              "; tagsim fuzz counterexample\n\
+               ; reproduce: tagsim fuzz --seed %d --count %d\n\
+               ; divergence: %s\n\
+               ; shrunk (%d nodes):\n%s\n\n\
+               ; original:\n%s\n"
+              c.Driver.cx_seed (c.Driver.cx_index + 1) c.Driver.cx_detail
+              c.Driver.cx_nodes c.Driver.cx_shrunk
+              (String.concat "\n"
+                 (List.map (fun l -> "; " ^ l)
+                    (String.split_on_char '\n' c.Driver.cx_source)));
+            close_out oc;
+            Fmt.pr "counterexample written to %s@." path)
+          cexs;
+        exit 1)
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed.  The same seed, count and size replay the exact \
+             program sequence; omitted, a time-derived seed is chosen \
+             and echoed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let max_size =
+    Arg.(
+      value & opt int 80
+      & info [ "max-size" ] ~docv:"NODES"
+          ~doc:"Size bound (s-expression nodes) for generated programs.")
+  in
+  let matrix =
+    let parse s =
+      match Tagsim.Fuzz.Cross.by_name s with
+      | Some m -> Ok m
+      | None ->
+          Error
+            (`Msg
+               (Fmt.str "unknown matrix: %s (valid: %s)" s
+                  (String.concat ", " Tagsim.Fuzz.Cross.matrix_names)))
+    in
+    let print ppf (m : Cross.matrix) = Fmt.string ppf m.Cross.m_name in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Cross.full
+      & info [ "matrix" ] ~docv:"NAME"
+          ~doc:
+            "Configuration matrix: $(b,full) (all schemes, a support \
+             sample, every engine/backend/opt combination) or $(b,smoke) \
+             (one scheme/support pair, every engine/backend/opt \
+             combination).")
+  in
+  let shrink =
+    Arg.(
+      value & opt bool true
+      & info [ "shrink" ] ~docv:"BOOL"
+          ~doc:"Delta-debug counterexamples down to a minimal reproducer.")
+  in
+  let out =
+    Arg.(
+      value & opt string "_fuzz_out"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk counterexample files (CI artifacts).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs over the \
+          engine/backend/opt matrix, checked against the reference \
+          interpreter.")
+    Term.(const run $ seed $ count $ max_size $ matrix $ shrink $ out)
+
 (* --- experiments --- *)
 
 (* The [--verbose] run summary, on stderr so the artifact text on stdout
@@ -412,6 +530,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tagsim" ~doc)
           [
-            run_cmd; file_cmd; list_cmd; asm_cmd; profile_cmd;
+            run_cmd; file_cmd; list_cmd; asm_cmd; profile_cmd; fuzz_cmd;
             experiments_cmd;
           ]))

@@ -46,8 +46,10 @@ module Prelude = Tagsim_compiler.Prelude
 (* Bump on any measurement-affecting change: codegen, runtime, scheme
    semantics, cost model, or Stats layout (see the header comment).
    2: the optimization level joined the key and the payload meta line
-   gained the eliminated-check count. *)
-let version = "2"
+   gained the eliminated-check count.
+   3: the funcall path gained a dynamic arity check.
+   4: checked multiplies verify their product by dividing it back. *)
+let version = "4"
 
 (* Configured once by the CLI/bench entry point before any fan-out;
    plain refs because workers only read them. Disabled by default so

@@ -66,8 +66,11 @@ let measure ?(sched = Sched.default) ~scheme ~support
   in
   loop 0;
   let total = (Machine.stats m).Stats.cycles in
+  (* Descending by cycles, with the label breaking ties: the fold's
+     hash order must not leak into the report. *)
   Hashtbl.fold (fun label cycles acc -> (label, cycles) :: acc) counts []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         match compare b a with 0 -> compare la lb | c -> c)
   |> List.map (fun (label, cycles) ->
          { label; cycles; share = 100.0 *. float_of_int cycles /. float_of_int total })
 

@@ -354,8 +354,12 @@ let emit_arith f ~kind ~ra_ ~rb ~rd ~a_int ~b_int =
              f.ctx ~result:Reg.v0 ~op_a:ra_ ~op_b:rb ~scratch:Reg.v1
              ~fail:slow ~resumable:true
        | A_mul ->
-           Emit.validity_check ~checking:true f.ctx ~result:Reg.v0
-             ~scratch:Reg.v1 ~fail:slow
+           (* [v1] still holds the untagged multiplicand from [raw_op]
+              on the low schemes; high-scheme items are their values. *)
+           Emit.mul_overflow_check ~checking:true ~resumable:true f.ctx
+             ~result:Reg.v0
+             ~val_a:(if Scheme.is_low s then Reg.v1 else ra_)
+             ~item_b:rb ~scratch:Reg.v1 ~fail:slow
        | A_div | A_rem -> ());
        mv f rd Reg.v0
      end);
@@ -463,10 +467,20 @@ let rec eval f d (e : Ast.expr) : unit =
           ~parallel:(Emit.parallel_covers f.ctx Scheme.Symbol) rf
           ~scratch:Reg.v1
       in
-      Emit.load f.ctx acc ~dst:Reg.v1 ~off:L.sym_off_function;
+      let chk = Annot.make ~checking:true (Annot.Check Annot.Symbol_op) in
+      (* The name-id word (arity in its high bits) must be read before
+         the function cell: the access base may be the scratch [v1]. *)
       if checking f then
-        Emit.branch ~annot:(Annot.make ~checking:true (Annot.Check Annot.Symbol_op))
-          ~hint:Insn.Unlikely f.ctx Insn.Eq Reg.v1 Reg.zero L.l_err_undef;
+        Emit.load ~annot:chk f.ctx acc ~dst:Reg.v0 ~off:L.sym_off_name;
+      Emit.load f.ctx acc ~dst:Reg.v1 ~off:L.sym_off_function;
+      if checking f then begin
+        Emit.branch ~annot:chk ~hint:Insn.Unlikely f.ctx Insn.Eq Reg.v1
+          Reg.zero L.l_err_undef;
+        e_ ~annot:chk f
+          (Insn.Alui (Insn.Srl, Reg.v0, Reg.v0, L.sym_arity_shift));
+        Emit.branch_i ~annot:chk ~hint:Insn.Unlikely f.ctx Insn.Ne Reg.v0
+          (List.length args) L.l_err_arity
+      end;
       spill_for_call f ~live_temps:d;
       List.iteri (fun i _ -> mv f (Reg.a0 + i) (Reg.temp (d + 1 + i))) args;
       e_ f (Insn.Jalr Reg.v1);

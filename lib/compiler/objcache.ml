@@ -59,8 +59,13 @@ module Ast = Tagsim_lisp.Ast
    this stamp alone.)
    2: the optimization level joined the key, and objects record their
    eliminated-check count — a pre-refactor entry can never satisfy a
-   post-refactor lookup. *)
-let version = "2"
+   post-refactor lookup.
+   3: the funcall path gained a dynamic arity check (and the symbol
+   table's name-id words carry arities), so pre-change objects emit
+   different code.
+   4: checked multiplies verify their product by dividing it back
+   (word-wrapped products used to escape the validity test). *)
+let version = "4"
 
 (* L2 configuration, set once by the CLI/bench entry point before any
    fan-out.  Disabled by default: library users (tests above all) opt

@@ -333,7 +333,7 @@ let compile_frontend ?(backend = `Incremental) ?(opt = `None)
   List.iter
     (fun (n, d) ->
       Hashtbl.replace funcs n (List.length d.Ast.params);
-      Symtab.mark_function symtab n;
+      Symtab.mark_function symtab n ~arity:(List.length d.Ast.params);
       ignore (Symtab.intern symtab n))
     retained;
   let image, checks_eliminated =
@@ -449,6 +449,12 @@ let abort_message code =
   else if user = L.trap_heap_overflow then "heap overflow"
   else if user = L.trap_arith_error then "arithmetic error (overflow or bad type)"
   else if user = 6 then "user error"
+  else if user = L.trap_arity_error then "arity"
+  (* Hardware-detected failures abort with the machine's own codes: a
+     tagged access whose parallel check fails is the same observable
+     error as the software stub's [Trap]. *)
+  else if code = Machine.err_type then "type error"
+  else if code = Machine.err_bounds then "bounds error"
   else if code = Machine.err_div0 then "division by zero"
   else Printf.sprintf "abort %d" code
 

@@ -228,8 +228,12 @@ let emit_arith f ~kind ~ra_ ~rb ~rd ~a_int ~b_int =
              f.ctx ~result:Reg.v0 ~op_a:ra_ ~op_b:rb ~scratch:Reg.v1 ~fail:slow
              ~resumable:true
        | Tir.A_mul ->
-           Emit.validity_check ~checking:true f.ctx ~result:Reg.v0
-             ~scratch:Reg.v1 ~fail:slow
+           (* [v1] still holds the untagged multiplicand from [raw_op]
+              on the low schemes; high-scheme items are their values. *)
+           Emit.mul_overflow_check ~checking:true ~resumable:true f.ctx
+             ~result:Reg.v0
+             ~val_a:(if Scheme.is_low s then Reg.v1 else ra_)
+             ~item_b:rb ~scratch:Reg.v1 ~fail:slow
        | Tir.A_div | Tir.A_rem -> ());
        mv f rd Reg.v0
      end);
@@ -347,11 +351,20 @@ let exec_op f (op : Tir.op) =
           ~parallel:(Emit.parallel_covers f.ctx Scheme.Symbol) rf
           ~scratch:Reg.v1
       in
-      Emit.load f.ctx acc ~dst:Reg.v1 ~off:L.sym_off_function;
+      let chk = Annot.make ~checking:true (Annot.Check Annot.Symbol_op) in
+      (* The name-id word (arity in its high bits) must be read before
+         the function cell: the access base may be the scratch [v1]. *)
       if checking f then
-        Emit.branch
-          ~annot:(Annot.make ~checking:true (Annot.Check Annot.Symbol_op))
-          ~hint:Insn.Unlikely f.ctx Insn.Eq Reg.v1 Reg.zero L.l_err_undef;
+        Emit.load ~annot:chk f.ctx acc ~dst:Reg.v0 ~off:L.sym_off_name;
+      Emit.load f.ctx acc ~dst:Reg.v1 ~off:L.sym_off_function;
+      if checking f then begin
+        Emit.branch ~annot:chk ~hint:Insn.Unlikely f.ctx Insn.Eq Reg.v1
+          Reg.zero L.l_err_undef;
+        e_ ~annot:chk f
+          (Insn.Alui (Insn.Srl, Reg.v0, Reg.v0, L.sym_arity_shift));
+        Emit.branch_i ~annot:chk ~hint:Insn.Unlikely f.ctx Insn.Ne Reg.v0
+          nargs L.l_err_arity
+      end;
       spill_for_call f ~live_temps:base ~saves;
       for i = 0 to nargs - 1 do
         mv f (Reg.a0 + i) (Reg.temp (base + 1 + i))

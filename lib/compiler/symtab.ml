@@ -15,7 +15,7 @@ type t = {
   index : (string, int) Hashtbl.t;
   mutable names : string list; (* reversed *)
   mutable count : int;
-  functions : (string, unit) Hashtbl.t; (* symbols with a function cell *)
+  functions : (string, int) Hashtbl.t; (* symbols with a function cell, to arity *)
 }
 
 let create () =
@@ -46,8 +46,9 @@ let with_builtins () =
   assert (intern t "t" = L.sym_t);
   t
 
-let mark_function t name = Hashtbl.replace t.functions name ()
+let mark_function t name ~arity = Hashtbl.replace t.functions name arity
 let is_function t name = Hashtbl.mem t.functions name
+let arity_of t name = Hashtbl.find_opt t.functions name
 let count t = t.count
 let names t = List.rev t.names
 
@@ -78,10 +79,15 @@ let emit_data t (scheme : Scheme.t) b =
     (fun idx name ->
       let label = if idx = 0 then Some L.l_symtab else None in
       Buf.data ?label b (Buf.Word nil_item) (* value cell *);
-      (if Hashtbl.mem t.functions name then
-         Buf.data b (Buf.Addr (L.fn_label name))
-       else Buf.data b (Buf.Word 0));
+      (match Hashtbl.find_opt t.functions name with
+      | Some _ -> Buf.data b (Buf.Addr (L.fn_label name))
+      | None -> Buf.data b (Buf.Word 0));
       Buf.data b (Buf.Word nil_item) (* property list *);
-      Buf.data b (Buf.Word idx))
+      (* Name-id word; for function symbols the arity rides in the high
+         bits, where the [funcall] arity check reads it. *)
+      let arity =
+        match Hashtbl.find_opt t.functions name with Some a -> a | None -> 0
+      in
+      Buf.data b (Buf.Word ((arity lsl L.sym_arity_shift) lor idx)))
     (names t);
   Buf.word ~label:L.l_symtab_count b (count t)

@@ -10,12 +10,17 @@ val with_builtins : unit -> t
 
 val intern : t -> string -> int
 
-(** Mark a symbol as naming a compiled function (its function cell will
-    hold the code address). *)
-val mark_function : t -> string -> unit
+(** Mark a symbol as naming a compiled function of the given arity (its
+    function cell will hold the code address, and its name-id word will
+    carry the arity for the [funcall] arity check). *)
+val mark_function : t -> string -> arity:int -> unit
 
 (** Does the symbol name a compiled function? *)
 val is_function : t -> string -> bool
+
+(** The arity recorded by {!mark_function}, if the symbol names a
+    compiled function. *)
+val arity_of : t -> string -> int option
 
 val count : t -> int
 val names : t -> string list

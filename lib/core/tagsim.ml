@@ -52,6 +52,13 @@ module Prelude = Tagsim_compiler.Prelude
 module Program = Tagsim_compiler.Program
 module Oracle = Tagsim_compiler.Oracle
 module Benchmarks = Tagsim_programs.Registry
+module Fuzz = struct
+  module Rng = Tagsim_fuzz.Rng
+  module Gen = Tagsim_fuzz.Gen
+  module Cross = Tagsim_fuzz.Cross
+  module Shrink = Tagsim_fuzz.Shrink
+  module Driver = Tagsim_fuzz.Fuzz
+end
 module Analysis = struct
   module Pool = Tagsim_analysis.Pool
   module Cache = Tagsim_analysis.Cache

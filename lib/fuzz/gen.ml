@@ -1,0 +1,432 @@
+module Sexp = Tagsim_lisp.Sexp
+module L = Tagsim_runtime.Layout
+
+type program = Sexp.t list
+
+let sizes = { L.stack_bytes = 1 lsl 17; L.semi_bytes = 1 lsl 14 }
+
+let rec size_of = function
+  | Sexp.Int _ | Sexp.Sym _ -> 1
+  | Sexp.List l -> 1 + List.fold_left (fun acc s -> acc + size_of s) 0 l
+
+let size prog = List.fold_left (fun acc s -> acc + size_of s) 0 prog
+let render prog = String.concat "\n" (List.map Sexp.to_string prog)
+
+(* --- generation --- *)
+
+type rty = TInt | TList | TAny
+
+(* Constants near the narrowest scheme's integer boundary (high6:
+   26 usable bits, so +/- 2^25).  Larger literals would fail to encode
+   under high6 at compile time; these are in range everywhere but push
+   add/sub over the edge into boxnum allocation (and multiply into the
+   arithmetic trap) on the narrow schemes first. *)
+let boundary_ints =
+  [ 33554431; 33554430; 33554429; -33554432; -33554431; 16777216; 8388607 ]
+
+let symbols = [ "a"; "b"; "c"; "k1"; "k2"; "probe" ]
+
+type helper = { h_name : string; h_arity : int; h_ret : rty }
+
+type ctx = {
+  rng : Rng.t;
+  mutable budget : int; (* remaining node allowance *)
+  mutable vars : (string * rty) list; (* lexical scope, innermost first *)
+  helpers : helper list;
+}
+
+let spend ctx n = ctx.budget <- ctx.budget - n
+let sym s = Sexp.Sym s
+let num n = Sexp.Int n
+let app head args = Sexp.List (sym head :: args)
+let quote s = Sexp.List [ sym "quote"; s ]
+
+let pick_var ctx ty =
+  let cands =
+    List.filter (fun (_, t) -> t = ty || t = TAny) ctx.vars
+  in
+  match cands with
+  | [] -> None
+  | l -> Some (fst (List.nth l (Rng.int ctx.rng (List.length l))))
+
+let int_const ctx =
+  spend ctx 1;
+  Rng.weighted ctx.rng
+    [
+      (6, `Small);
+      (2, `Boundary);
+      (1, `Medium);
+    ]
+  |> function
+  | `Small -> num (Rng.range ctx.rng (-40) 40)
+  | `Boundary -> num (Rng.choose ctx.rng boundary_ints)
+  | `Medium -> num (Rng.range ctx.rng (-5000) 5000)
+
+let rec quoted_list ctx depth =
+  let n = Rng.int ctx.rng 4 in
+  spend ctx (n + 1);
+  Sexp.List
+    (List.init n (fun _ ->
+         match Rng.int ctx.rng 4 with
+         | 0 when depth > 0 -> quoted_list ctx (depth - 1)
+         | 1 -> sym (Rng.choose ctx.rng symbols)
+         | _ -> num (Rng.range ctx.rng (-9) 99)))
+
+let leaf ctx ty =
+  match ty with
+  | TInt -> (
+      match pick_var ctx TInt with
+      | Some v when Rng.int ctx.rng 3 < 2 ->
+          spend ctx 1;
+          sym v
+      | _ -> int_const ctx)
+  | TList -> (
+      match (Rng.int ctx.rng 4, pick_var ctx TList) with
+      | 0, Some v | 1, Some v ->
+          spend ctx 1;
+          sym v
+      | 2, _ ->
+          spend ctx 1;
+          sym "nil"
+      | _ -> quote (quoted_list ctx 1))
+  | TAny -> (
+      match Rng.int ctx.rng 5 with
+      | 0 ->
+          spend ctx 2;
+          quote (sym (Rng.choose ctx.rng symbols))
+      | 1 ->
+          spend ctx 1;
+          sym (if Rng.bool ctx.rng then "t" else "nil")
+      | 2 -> (
+          match pick_var ctx TAny with
+          | Some v ->
+              spend ctx 1;
+              sym v
+          | None -> int_const ctx)
+      | _ -> int_const ctx)
+
+let pick_helper ctx ret =
+  let cands = List.filter (fun h -> h.h_ret = ret) ctx.helpers in
+  match cands with
+  | [] -> None
+  | l -> Some (List.nth l (Rng.int ctx.rng (List.length l)))
+
+(* [depth] bounds expression nesting: the compiler evaluates into a
+   nine-temporary stack and rejects expressions that overrun it, so the
+   generator stays safely below (nesting <= 4, call arity <= 3). *)
+let rec expr ctx ty depth =
+  if depth <= 0 || ctx.budget <= 0 then leaf ctx ty
+  else
+    match ty with
+    | TInt -> int_expr ctx depth
+    | TList -> list_expr ctx depth
+    | TAny ->
+        expr ctx (if Rng.bool ctx.rng then TInt else TList) depth
+
+and int_expr ctx depth =
+  spend ctx 1;
+  match Rng.int ctx.rng 16 with
+  | 0 | 1 -> leaf ctx TInt
+  | 2 ->
+      app
+        (Rng.choose ctx.rng [ "+"; "-"; "min"; "max" ])
+        [ expr ctx TInt (depth - 1); expr ctx TInt (depth - 1) ]
+  | 3 ->
+      (* keep one factor small so products overflow only via the
+         boundary constants *)
+      app "*" [ num (Rng.range ctx.rng (-9) 9); expr ctx TInt (depth - 1) ]
+  | 4 ->
+      app
+        (Rng.choose ctx.rng [ "quotient"; "remainder" ])
+        [ expr ctx TInt (depth - 1); expr ctx TInt (depth - 1) ]
+  | 5 ->
+      app
+        (Rng.choose ctx.rng [ "land"; "lor"; "lxor" ])
+        [ expr ctx TInt (depth - 1); expr ctx TInt (depth - 1) ]
+  | 6 -> app "length" [ expr ctx TList (depth - 1) ]
+  | 7 ->
+      app "if"
+        [ test ctx (depth - 1); expr ctx TInt (depth - 1);
+          expr ctx TInt (depth - 1) ]
+  | 8 ->
+      (* possibly a run-time type error: car of a maybe-empty list *)
+      app (Rng.choose ctx.rng [ "car"; "cadr" ]) [ expr ctx TList (depth - 1) ]
+  | 9 -> (
+      match pick_helper ctx TInt with
+      | Some h ->
+          app h.h_name
+            (List.init h.h_arity (fun _ -> expr ctx TInt (depth - 1)))
+      | None -> app "abs" [ expr ctx TInt (depth - 1) ])
+  | 10 ->
+      (* funcall through a symbol's function cell *)
+      let target =
+        match pick_helper ctx TInt with
+        | Some h when h.h_arity = 1 -> h.h_name
+        | _ -> "abs"
+      in
+      app "funcall" [ quote (sym target); expr ctx TInt (depth - 1) ]
+  | 11 -> app (Rng.choose ctx.rng [ "add1"; "sub1"; "abs" ]) [ expr ctx TInt (depth - 1) ]
+  | 12 ->
+      app "unbox" [ app "makebox" [ expr ctx TInt (depth - 1) ] ]
+  | 13 ->
+      (* generic arithmetic over a boxed operand: result is boxed, so
+         unbox it back into the int world *)
+      app "unbox"
+        [
+          app
+            (Rng.choose ctx.rng [ "+"; "-" ])
+            [ app "makebox" [ expr ctx TInt (depth - 1) ];
+              expr ctx TInt (depth - 1) ];
+        ]
+  | 14 -> (
+      match pick_var ctx TInt with
+      | Some v -> app "setq" [ sym v; expr ctx TInt (depth - 1) ]
+      | None -> leaf ctx TInt)
+  | _ -> leaf ctx TInt
+
+and list_expr ctx depth =
+  spend ctx 1;
+  match Rng.int ctx.rng 12 with
+  | 0 | 1 -> leaf ctx TList
+  | 2 ->
+      app "cons" [ expr ctx TAny (depth - 1); expr ctx TList (depth - 1) ]
+  | 3 ->
+      app "append" [ expr ctx TList (depth - 1); expr ctx TList (depth - 1) ]
+  | 4 ->
+      app (Rng.choose ctx.rng [ "reverse"; "cdr"; "copy"; "last" ])
+        [ expr ctx TList (depth - 1) ]
+  | 5 ->
+      app
+        (Rng.choose ctx.rng [ "memq"; "delq"; "member" ])
+        [
+          (spend ctx 2;
+           quote (sym (Rng.choose ctx.rng symbols)));
+          expr ctx TList (depth - 1);
+        ]
+  | 6 ->
+      app "if"
+        [ test ctx (depth - 1); expr ctx TList (depth - 1);
+          expr ctx TList (depth - 1) ]
+  | 7 ->
+      app "list"
+        (List.init
+           (1 + Rng.int ctx.rng 3)
+           (fun _ -> expr ctx TAny (depth - 1)))
+  | 8 -> (
+      match pick_helper ctx TList with
+      | Some h ->
+          app h.h_name
+            (List.init h.h_arity (fun _ ->
+                 (* builders take a small positive count *)
+                 app "abs" [ app "remainder" [ expr ctx TInt (depth - 1); num 40 ] ]))
+      | None -> leaf ctx TList)
+  | 9 -> (
+      match pick_helper ctx TInt with
+      | Some h when h.h_arity = 1 ->
+          app "mapcar" [ quote (sym h.h_name); expr ctx TList (depth - 1) ]
+      | _ -> app "reverse" [ expr ctx TList (depth - 1) ])
+  | 10 ->
+      app (Rng.choose ctx.rng [ "assq"; "assoc" ])
+        [
+          (spend ctx 2;
+           quote (sym (Rng.choose ctx.rng symbols)));
+          expr ctx TList (depth - 1);
+        ]
+  | _ -> leaf ctx TList
+
+and test ctx depth =
+  spend ctx 1;
+  if depth <= 0 then sym (if Rng.bool ctx.rng then "t" else "nil")
+  else
+    match Rng.int ctx.rng 9 with
+    | 0 -> app "pairp" [ expr ctx TList (depth - 1) ]
+    | 1 -> app "null" [ expr ctx TList (depth - 1) ]
+    | 2 ->
+        app
+          (Rng.choose ctx.rng [ "lessp"; "greaterp"; "leq"; "geq"; "eqn" ])
+          [ expr ctx TInt (depth - 1); expr ctx TInt (depth - 1) ]
+    | 3 -> app "eq" [ expr ctx TAny (depth - 1); expr ctx TAny (depth - 1) ]
+    | 4 ->
+        app
+          (Rng.choose ctx.rng [ "atom"; "numberp"; "symbolp"; "boxp" ])
+          [ expr ctx TAny (depth - 1) ]
+    | 5 -> app "equal" [ expr ctx TList (depth - 1); expr ctx TList (depth - 1) ]
+    | 6 -> app (Rng.choose ctx.rng [ "zerop"; "minusp"; "onep" ]) [ expr ctx TInt (depth - 1) ]
+    | 7 ->
+        app
+          (Rng.choose ctx.rng [ "and"; "or" ])
+          [ test ctx (depth - 1); test ctx (depth - 1) ]
+    | _ -> app "not" [ test ctx (depth - 1) ]
+
+(* --- statements (side effects inside bodies) --- *)
+
+let fresh_name prefix n = Printf.sprintf "%s%d" prefix n
+
+let statement ctx n =
+  spend ctx 2;
+  match Rng.int ctx.rng 10 with
+  | 0 -> (
+      match pick_var ctx TInt with
+      | Some v -> app "setq" [ sym v; expr ctx TInt 2 ]
+      | None -> app "setq" [ sym "gint"; expr ctx TInt 2 ])
+  | 1 -> (
+      match pick_var ctx TList with
+      | Some v -> app "setq" [ sym v; expr ctx TList 2 ]
+      | None -> app "setq" [ sym "glist"; expr ctx TList 2 ])
+  | 2 ->
+      (* global value cell of an otherwise unbound symbol *)
+      app "setq" [ sym "gany"; expr ctx TAny 2 ]
+  | 3 ->
+      app "put"
+        [
+          quote (sym "probe"); quote (sym (Rng.choose ctx.rng symbols));
+          expr ctx TAny 2;
+        ]
+  | 4 -> (
+      match pick_var ctx TList with
+      | Some v -> app "push" [ expr ctx TAny 2; sym v ]
+      | None -> app "setq" [ sym "glist"; expr ctx TList 2 ])
+  | 5 ->
+      (* bounded churn: allocate then mostly discard, forcing the small
+         semispace through real collections *)
+      let i = fresh_name "i" n in
+      app "dotimes"
+        [
+          Sexp.List [ sym i; num (Rng.range ctx.rng 4 120) ];
+          app "setq" [ sym "gscratch"; app "cons" [ sym i; app "if" [ app "greaterp" [ sym i; num (Rng.range ctx.rng 2 40) ]; sym "nil"; sym "gscratch" ] ] ];
+        ]
+  | 6 ->
+      (* counted-down while loop; terminating by construction *)
+      let w = fresh_name "w" n in
+      Sexp.List
+        [
+          sym "let";
+          Sexp.List [ Sexp.List [ sym w; num (Rng.range ctx.rng 1 30) ] ];
+          app "while"
+            [
+              app "greaterp" [ sym w; num 0 ];
+              app "setq" [ sym "gint"; app "+" [ expr ctx TInt 1; app "remainder" [ sym "gint"; num 9973 ] ] ];
+              app "setq" [ sym w; app "-" [ sym w; num 1 ] ];
+            ];
+        ]
+  | 7 -> (
+      (* vectors: store through a maybe-out-of-range index *)
+      match pick_var ctx TInt with
+      | Some v ->
+          app "putv"
+            [ sym "gvec"; app "remainder" [ app "abs" [ sym v ]; num 7 ]; expr ctx TAny 2 ]
+      | None -> app "putv" [ sym "gvec"; num (Rng.int ctx.rng 8); expr ctx TAny 2 ])
+  | 8 ->
+      (* explicit collection request *)
+      app "progn" [ app "reclaim" []; app "setq" [ sym "gint"; expr ctx TInt 2 ] ]
+  | _ -> (
+      match pick_var ctx TInt with
+      | Some v -> app (Rng.choose ctx.rng [ "incf"; "decf" ]) [ sym v ]
+      | None -> app "setq" [ sym "gint"; expr ctx TInt 2 ])
+
+(* --- helper definitions --- *)
+
+let helper_def ctx (h : helper) : Sexp.t =
+  let params = List.init h.h_arity (fun i -> fresh_name "p" i) in
+  let saved = ctx.vars in
+  ctx.vars <- List.map (fun p -> (p, if h.h_ret = TList && h.h_arity = 1 then TInt else TInt)) params;
+  let body =
+    match (h.h_ret, h.h_arity) with
+    | TList, 1 ->
+        (* recursive list builder on a strictly decreasing counter *)
+        app "if"
+          [
+            app "greaterp" [ sym "p0"; num 0 ];
+            app "cons"
+              [ expr ctx TAny 1; app h.h_name [ app "-" [ sym "p0"; num 1 ] ] ];
+            sym "nil";
+          ]
+    | TInt, 1 when Rng.bool ctx.rng ->
+        (* recursive countdown sum *)
+        app "if"
+          [
+            app "greaterp" [ sym "p0"; num 0 ];
+            app "+"
+              [ expr ctx TInt 1; app h.h_name [ app "-" [ sym "p0"; num 1 ] ] ];
+            expr ctx TInt 1;
+          ]
+    | TInt, _ when Rng.int ctx.rng 4 = 0 ->
+        (* conditional trapper *)
+        app "if"
+          [
+            app "lessp" [ sym "p0"; num (Rng.range ctx.rng (-20) 0) ];
+            app "error" [];
+            expr ctx TInt 2;
+          ]
+    | _ -> expr ctx TInt 2
+  in
+  ctx.vars <- saved;
+  Sexp.List
+    [ sym "de"; sym h.h_name; Sexp.List (List.map (fun p -> sym p) params); body ]
+
+(* Deep recursion: a builder invocation with a count high enough to
+   recurse a few hundred frames and populate the small heap. *)
+let deep_call ctx =
+  match pick_helper ctx TList with
+  | Some h when h.h_arity = 1 ->
+      Some (app "length" [ app h.h_name [ num (Rng.range ctx.rng 120 260) ] ])
+  | _ -> None
+
+let program rng ~max_size =
+  let n_helpers = Rng.int rng 3 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        {
+          h_name = fresh_name "h" i;
+          h_arity = 1 + Rng.int rng 2;
+          h_ret = (if Rng.int rng 3 = 0 then TList else TInt);
+        })
+  in
+  let ctx = { rng; budget = max_size; vars = []; helpers } in
+  let defs = List.map (fun h -> helper_def ctx h) helpers in
+  (* main: two nested lets, a statement run, a composite return value *)
+  ctx.budget <- max_size;
+  let bind ty name = Sexp.List [ sym name; expr ctx ty 2 ] in
+  let outer =
+    [ bind TInt "gi"; bind TList "gl" ]
+  in
+  ctx.vars <- [ ("gi", TInt); ("gl", TList) ];
+  let inner = [ bind TInt "li"; Sexp.List [ sym "lv"; app "mkvect" [ num (1 + Rng.int rng 6) ] ] ] in
+  ctx.vars <- ("li", TInt) :: ctx.vars;
+  let n_stmts = 1 + Rng.int rng 3 in
+  let stmts = List.init n_stmts (fun n -> statement ctx n) in
+  let deep =
+    if Rng.int rng 3 = 0 then
+      match deep_call ctx with
+      | Some c -> [ app "setq" [ sym "gint"; c ] ]
+      | None -> []
+    else []
+  in
+  let ret =
+    match Rng.int rng 5 with
+    | 0 -> app "list" [ sym "gi"; sym "li"; app "get" [ quote (sym "probe"); quote (sym (Rng.choose rng symbols)) ] ]
+    | 1 -> app "append" [ sym "gl"; app "list" [ sym "li"; sym "gi" ] ]
+    | 2 -> app "cons" [ sym "gint"; expr ctx TList 2 ]
+    | 3 -> app "+" [ sym "gi"; app "if" [ app "numberp" [ sym "gany" ]; sym "gany"; sym "li" ] ]
+    | _ -> expr ctx TAny 3
+  in
+  let setup =
+    [
+      app "setq" [ sym "gvec"; app "mkvect" [ num (2 + Rng.int rng 5) ] ];
+      app "setq" [ sym "gint"; num (Rng.int rng 100) ];
+    ]
+  in
+  let main =
+    Sexp.List
+      [
+        sym "de"; sym "main"; Sexp.List [];
+        Sexp.List
+          (sym "let" :: Sexp.List outer
+          :: (setup
+             @ [
+                 Sexp.List
+                   ((sym "let" :: Sexp.List inner :: stmts) @ deep @ [ ret ]);
+               ]));
+      ]
+  in
+  defs @ [ main ]

@@ -1,0 +1,40 @@
+(** Seeded, size-bounded random program generator for the supported Lisp
+    subset.
+
+    Programs are generated as s-expression trees (so the shrinker can
+    work structurally) and rendered to source with {!render}.  Every
+    generated program terminates by construction — loops are counted
+    down, recursive helpers recurse on strictly smaller arguments — so a
+    machine timeout under the fuzzing fuel is always a divergence
+    candidate, never an expected outcome.  Coverage, by design:
+
+    - nested [let]s, locals spilling into register locals and stack
+      slots, global value cells;
+    - generic arithmetic with constants near the narrowest scheme's
+      integer boundary (high6: 26 bits), so add/sub overflow into
+      boxnums and multiply overflow traps are exercised;
+    - list construction and traversal, vectors with occasionally
+      out-of-range indices, boxes, property lists;
+    - calls through the prelude, user helpers, recursion deep enough to
+      force collections in the fuzzer's deliberately small semispace,
+      and [funcall] through symbol function cells;
+    - error-trapping programs: car/cdr of atoms, division by a value
+      that can be zero, [error] calls behind conditions. *)
+
+type program = Tagsim_lisp.Sexp.t list
+
+(** Generate one program.  [max_size] bounds the node count of the
+    generated main body (helpers add a bounded constant on top); the
+    same [Rng.t] state always yields the same program. *)
+val program : Rng.t -> max_size:int -> program
+
+(** Render to compilable source, one toplevel form per line. *)
+val render : program -> string
+
+(** Total node count (atoms + list nodes) — the size the shrinker
+    minimizes. *)
+val size : program -> int
+
+(** The heap/stack sizing every fuzzed configuration runs under: a small
+    semispace so list churn forces real collections. *)
+val sizes : Tagsim_runtime.Layout.sizes

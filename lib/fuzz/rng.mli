@@ -1,0 +1,27 @@
+(** A self-contained splitmix64 pseudo-random stream.
+
+    The fuzzer's reproducibility contract ([--seed S] replays the exact
+    program sequence) must not depend on the OCaml stdlib's [Random]
+    implementation, which is free to change between compiler releases;
+    this fixes the algorithm to the well-known splitmix64 finalizer so a
+    seed printed by CI replays on any toolchain. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform-ish integer in [0, bound); raises [Invalid_argument] when
+    [bound <= 0].  (The modulo bias over a 62-bit draw is irrelevant at
+    fuzzing bounds.) *)
+val int : t -> int -> int
+
+(** Integer in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** Pick a list element; raises on an empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Pick by relative weight from [(weight, value)] pairs. *)
+val weighted : t -> (int * 'a) list -> 'a

@@ -1,0 +1,86 @@
+module Sexp = Tagsim_lisp.Sexp
+
+(* All ways to shrink one node, smallest-first so greedy passes jump as
+   far as they can: replace by a leaf, hoist a child, drop a child,
+   shrink in place. *)
+let node_candidates (s : Sexp.t) : Sexp.t list =
+  match s with
+  | Sexp.Int 0 -> []
+  | Sexp.Int n ->
+      Sexp.Int 0 :: (if abs n > 1 then [ Sexp.Int (n / 2) ] else [])
+  | Sexp.Sym "nil" -> []
+  | Sexp.Sym _ -> [ Sexp.Sym "nil"; Sexp.Int 0 ]
+  | Sexp.List items ->
+      [ Sexp.Sym "nil"; Sexp.Int 0 ]
+      @ items (* hoist any child over the whole form *)
+      @ List.mapi
+          (fun i _ ->
+            Sexp.List (List.filteri (fun j _ -> j <> i) items))
+          items
+
+(* Rebuild [s] with the subtree at [path] (list of child indices)
+   replaced. *)
+let rec replace_at (s : Sexp.t) path repl =
+  match (path, s) with
+  | [], _ -> repl
+  | i :: rest, Sexp.List items ->
+      Sexp.List
+        (List.mapi
+           (fun j c -> if j = i then replace_at c rest repl else c)
+           items)
+  | _ -> s
+
+(* Enumerate every (path, candidate) pair of one form, outer nodes
+   first: shrinking a big subtree early saves many later attempts. *)
+let form_candidates (form : Sexp.t) : (int list * Sexp.t) list =
+  let acc = ref [] in
+  let rec walk path s =
+    List.iter (fun c -> acc := (List.rev path, c) :: !acc) (node_candidates s);
+    match s with
+    | Sexp.List items -> List.iteri (fun i c -> walk (i :: path) c) items
+    | _ -> ()
+  in
+  walk [] form;
+  List.rev !acc
+
+let is_main = function
+  | Sexp.List (Sexp.Sym "de" :: Sexp.Sym "main" :: _) -> true
+  | _ -> false
+
+let minimize ~check ?(max_attempts = 2000) (prog : Gen.program) : Gen.program =
+  let attempts = ref 0 in
+  let try_candidate cand =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      check cand
+    end
+  in
+  (* one pass: first improvement wins and the pass restarts from it *)
+  let step prog =
+    (* drop a whole non-main definition *)
+    let drops =
+      List.filteri (fun _ f -> not (is_main f)) prog
+      |> List.map (fun f -> List.filter (fun g -> g != f) prog)
+    in
+    (* rewrite one node of one form *)
+    let rewrites =
+      List.concat
+        (List.mapi
+           (fun i form ->
+             List.map
+               (fun (path, repl) ->
+                 List.mapi
+                   (fun j f -> if j = i then replace_at form path repl else f)
+                   prog)
+               (form_candidates form))
+           prog)
+    in
+    List.find_opt try_candidate (drops @ rewrites)
+  in
+  let rec fix prog =
+    if !attempts >= max_attempts then prog
+    else
+      match step prog with Some better -> fix better | None -> prog
+  in
+  fix prog

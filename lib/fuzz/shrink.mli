@@ -1,0 +1,20 @@
+(** Delta-debugging shrinker: minimize a counterexample program while a
+    reproduction predicate keeps holding.
+
+    Works structurally on the s-expression forms: drop whole
+    definitions, hoist a subtree's child over the subtree, delete list
+    elements, and collapse atoms toward [0]/[nil].  Candidates that no
+    longer reproduce (including ones the compiler now rejects — the
+    predicate sees a non-divergent program) are simply discarded, so no
+    grammar knowledge is needed here.  Greedy first-improvement passes
+    repeat until a fixpoint or the attempt budget runs out. *)
+
+(** [minimize ~check prog] with [check] returning [true] while the
+    candidate still reproduces.  [check prog] itself must hold on
+    entry.  [max_attempts] bounds total predicate evaluations
+    (default 2000). *)
+val minimize :
+  check:(Gen.program -> bool) ->
+  ?max_attempts:int ->
+  Gen.program ->
+  Gen.program

@@ -184,12 +184,53 @@ let overflow_check ?(checking = false) ?(subtraction = false)
   end
 
 (** Result-validity check used by the High6 arithmetic encoding
-    (Section 4.2) and by multiply: branch to [fail] unless [result] is a
-    valid integer item.  The failure target is usually a resumable slow
-    path, so the slot filler only moves register work into its slots. *)
+    (Section 4.2): branch to [fail] unless [result] is a valid integer
+    item.  The failure target is usually a resumable slow path, so the
+    slot filler only moves register work into its slots. *)
 let validity_check ?(checking = false) ctx ~result ~scratch ~fail =
   int_test ~checking ~hint:Insn.Slow_path ctx ~src_kind:Annot.Arith_op
     ~sense:`Is_not result ~scratch fail
+
+(** Overflow check on the result of an integer multiply.  The ISA has no
+    high-word multiply, so a product that wraps the 32-bit word cannot be
+    recognized from its bits alone: wrapping preserves the low tag bits,
+    and can even land back inside the integer range (65536 * 65536 wraps
+    to 0, a perfectly valid item under every scheme).  The product is
+    instead verified by dividing it back: for b <> 0, result / b must
+    recover the multiplicand exactly — a wrapped product misses it by at
+    least 2^32 / |b| > 1.  [val_a] must hold the untagged multiplicand
+    (for the low-tag schemes, the [Sra] scratch; for the high-tag
+    schemes, the operand item itself, which is its own value).  On the
+    low-tag schemes the quotient overwrites [result], so the product is
+    recomputed on the success path; exactness of the division already
+    bounds the product within the word, which for items [4ab] is exactly
+    the 30-bit value range, so no further test is needed.  The high-tag
+    schemes keep [result] intact (the quotient goes to [scratch]) but
+    must still range-check the unwrapped product against the scheme's
+    narrower integer precision.  The divisor can never be the -1 that
+    makes [min_int / -1] trap: low-tag items are multiples of 4, and a
+    high-tag product by -1 is a small negation. *)
+let mul_overflow_check ?(checking = false) ?(resumable = false) ctx ~result
+    ~val_a ~item_b ~scratch ~fail =
+  let fail_hint = if resumable then Insn.Slow_path else Insn.Unlikely in
+  let extract = Annot.make ~checking (Annot.Extract Annot.Arith_op) in
+  let check = Annot.make ~checking (Annot.Check Annot.Arith_op) in
+  let ok = fresh ctx "mulok" in
+  branch ~annot:check ctx Insn.Eq item_b Reg.zero ok;
+  if Scheme.is_low ctx.scheme then begin
+    emit ~annot:extract ctx (Insn.Alu (Insn.Div, result, result, item_b));
+    branch ~annot:check ~hint:fail_hint ctx Insn.Ne result val_a fail;
+    emit ~annot:extract ctx (Insn.Alu (Insn.Mul, result, val_a, item_b))
+  end
+  else begin
+    emit ~annot:extract ctx (Insn.Alu (Insn.Div, scratch, result, item_b));
+    branch ~annot:check ~hint:fail_hint ctx Insn.Ne scratch val_a fail;
+    let sh = 32 - ctx.scheme.Scheme.int_bits in
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sll, scratch, result, sh));
+    emit ~annot:extract ctx (Insn.Alui (Insn.Sra, scratch, scratch, sh));
+    branch ~annot:check ~hint:fail_hint ctx Insn.Ne scratch result fail
+  end;
+  label ctx ok
 
 (* --- Memory access to tagged objects (Sections 3.2, 5, 6.2.1). --- *)
 

@@ -124,6 +124,22 @@ val overflow_check :
 val validity_check :
   ?checking:bool -> ctx -> result:Reg.t -> scratch:Reg.t -> fail:string -> unit
 
+(** Overflow check on an integer multiply's product: verifies the product
+    by dividing it back (there is no high-word multiply, and a wrapped
+    product can land back on a valid item bit-pattern).  [val_a] holds
+    the untagged multiplicand; on low-tag schemes the quotient
+    overwrites [result] and the product is recomputed on success. *)
+val mul_overflow_check :
+  ?checking:bool ->
+  ?resumable:bool ->
+  ctx ->
+  result:Reg.t ->
+  val_a:Reg.t ->
+  item_b:Reg.t ->
+  scratch:Reg.t ->
+  fail:string ->
+  unit
+
 (** {1 Memory access to tagged objects} *)
 
 type access = { mode : Insn.mem_mode; base : Reg.t; corr : int }

@@ -19,13 +19,19 @@
     words before the program starts; the startup code loads them from
     there. *)
 
-(* Symbol cells: [value; function; plist; name-id]. *)
+(* Symbol cells: [value; function; plist; name-id].  For symbols that
+   name a compiled function, the name-id word also carries the
+   function's arity in its high bits (the [funcall] path checks it
+   against the call site's argument count); the GC never reads this
+   word, and the host decoder recovers the index from the cell address,
+   so the packing is invisible everywhere else. *)
 let symtab_base = 64
 let sym_cell_size = 16
 let sym_off_value = 0
 let sym_off_function = 4
 let sym_off_plist = 8
 let sym_off_name = 12
+let sym_arity_shift = 24
 let sym_addr idx = symtab_base + (idx * sym_cell_size)
 
 (* Object headers (vectors, boxed numbers): [subtype; length-or-value]. *)
@@ -64,6 +70,7 @@ let l_err_bounds = "rt$err_bounds"
 let l_err_undef = "rt$err_undef"
 let l_err_heap = "rt$err_heap"
 let l_err_arith = "rt$err_arith"
+let l_err_arity = "rt$err_arity"
 let fn_label name = "f$" ^ name
 
 (* Abort codes (the argument of [Trap]); the machine adds
@@ -73,6 +80,8 @@ let trap_bounds_error = 2
 let trap_undefined_function = 3
 let trap_heap_overflow = 4
 let trap_arith_error = 5
+(* 6 is the user-error trap, emitted directly by the code generator. *)
+let trap_arity_error = 7
 
 (* Registers saved into the GC register-save area (tagged-value roots).
    [rnil] and [k5] only ever hold static items, so they need no update,

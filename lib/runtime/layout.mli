@@ -10,6 +10,10 @@ val sym_off_value : int
 val sym_off_function : int
 val sym_off_plist : int
 val sym_off_name : int
+
+(** Bit position of a function symbol's arity within its name-id word. *)
+val sym_arity_shift : int
+
 val sym_addr : int -> int
 
 (** {1 Object headers (vectors, boxed numbers)} *)
@@ -51,6 +55,7 @@ val l_err_bounds : string
 val l_err_undef : string
 val l_err_heap : string
 val l_err_arith : string
+val l_err_arity : string
 val fn_label : string -> string
 
 (** {1 Abort codes (arguments of [Trap])} *)
@@ -60,6 +65,7 @@ val trap_bounds_error : int
 val trap_undefined_function : int
 val trap_heap_overflow : int
 val trap_arith_error : int
+val trap_arity_error : int
 
 (** {1 Collection roots} *)
 

@@ -58,7 +58,8 @@ let emit_error_stubs ctx =
   stub L.l_err_bounds L.trap_bounds_error;
   stub L.l_err_undef L.trap_undefined_function;
   stub L.l_err_heap L.trap_heap_overflow;
-  stub L.l_err_arith L.trap_arith_error
+  stub L.l_err_arith L.trap_arith_error;
+  stub L.l_err_arity L.trap_arity_error
 
 (* --- Vector allocation. ---
 
@@ -264,8 +265,9 @@ let emit_generic_arith ctx =
          e (Insn.Alu (Insn.Mul, Reg.v0, Reg.k0, Reg.a1))
        end
        else e (Insn.Alu (Insn.Mul, Reg.v0, Reg.a0, Reg.a1));
-       Emit.validity_check ctx ~result:Reg.v0 ~scratch:Reg.k0
-         ~fail:L.l_err_arith
+       Emit.mul_overflow_check ctx ~result:Reg.v0
+         ~val_a:(if Scheme.is_low scheme then Reg.k0 else Reg.a0)
+         ~item_b:Reg.a1 ~scratch:Reg.k1 ~fail:L.l_err_arith
      end
      else begin
        Emit.branch ~annot:ga ~hint:Insn.Unlikely ctx Insn.Eq Reg.a1 Reg.zero

@@ -181,9 +181,11 @@ let create ?(fuel = 600_000_000) ?(engine = `Reference) ~hw (image : Image.t) =
   let mem = Array.make (hw.mem_bytes / 4) 0 in
   Array.blit image.Image.data_words 0 mem 0
     (Array.length image.Image.data_words);
+  (* Sorted: [Hashtbl.fold] enumerates in an unspecified (hash-seeded)
+     order, and the entry list must not vary from process to process. *)
   let code_entries =
     Hashtbl.fold (fun _ a acc -> a :: acc) image.Image.code_symbols []
-    |> Array.of_list
+    |> List.sort_uniq compare |> Array.of_list
   in
   {
     hw;

@@ -14,9 +14,11 @@ module Support = Tagsim.Support
 module Sched = Tagsim.Sched
 
 let test_dir = Filename.temp_dir "tagsim_cache_test" ""
+let rmdir_if_empty d = try Sys.rmdir d with Sys_error _ -> ()
 
 (* Point the store at a private directory, start empty, and leave the
-   library in its default (disabled, empty-memo) state afterwards. *)
+   library in its default (disabled, empty-memo) state afterwards; the
+   directory itself is removed. *)
 let with_cache f =
   Cache.set_dir test_dir;
   Cache.set_enabled true;
@@ -26,6 +28,7 @@ let with_cache f =
   Fun.protect
     ~finally:(fun () ->
       Cache.wipe ();
+      rmdir_if_empty test_dir;
       Cache.set_enabled false;
       Cache.set_dir "_tagsim_cache";
       Run.clear_cache ())

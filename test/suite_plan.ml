@@ -93,21 +93,21 @@ let test_golden_numbers () =
   let near = Alcotest.float 0.001 in
   Alcotest.check near "table1 inter total" 17.2486
     (fnum (member "total" (row 0)));
-  Alcotest.check near "table1 trav total" 65.3513
+  Alcotest.check near "table1 trav total" 66.2677
     (fnum (member "total" (row 1)));
   Alcotest.check near "table1 trav vector" 34.2337
     (fnum (member "vector" (row 1)));
-  Alcotest.check near "table1 average total" 41.2999
+  Alcotest.check near "table1 average total" 41.7581
     (fnum (member "total" (member "average" t1)));
   let t2 = data "table2" in
   let speedup row field = fnum (member field (member row t2)) in
   Alcotest.check near "table2 row1 no_rtc" 6.5081 (speedup "row1" "no_rtc");
-  Alcotest.check near "table2 row3 rtc" 13.0929 (speedup "row3" "rtc");
+  Alcotest.check near "table2 row3 rtc" 13.0292 (speedup "row3" "rtc");
   Alcotest.check near "table2 row7 total no_rtc" 8.3618
     (speedup "row7.total" "no_rtc");
-  Alcotest.check near "table2 row7 total rtc" 30.7450
+  Alcotest.check near "table2 row7 total rtc" 30.5955
     (speedup "row7.total" "rtc");
-  Alcotest.check near "table2 spur rtc" 28.1935 (speedup "spur" "rtc")
+  Alcotest.check near "table2 spur rtc" 28.0564 (speedup "spur" "rtc")
 
 (* --- sinks --- *)
 

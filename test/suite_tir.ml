@@ -119,7 +119,8 @@ let lower_named src name =
   List.iter
     (fun (d : Ast.def) ->
       ignore (Symtab.intern symtab d.Ast.name);
-      Symtab.mark_function symtab d.Ast.name;
+      Symtab.mark_function symtab d.Ast.name
+        ~arity:(List.length d.Ast.params);
       Hashtbl.replace funcs d.Ast.name (List.length d.Ast.params))
     defs;
   let d = List.find (fun (d : Ast.def) -> d.Ast.name = name) defs in

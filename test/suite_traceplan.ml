@@ -17,10 +17,12 @@ module Scheme = Tagsim.Scheme
 module Support = Tagsim.Support
 
 let test_dir = Filename.temp_dir "tagsim_plan_test" ""
+let rmdir_if_empty d = try Sys.rmdir d with Sys_error _ -> ()
 let chk = Support.with_checking Support.software
 
 (* Point the store at a private directory, start empty, and leave the
-   library in its default (disabled) state afterwards. *)
+   library in its default (disabled) state afterwards; the directory
+   itself is removed. *)
 let with_plans f =
   Plan.set_dir test_dir;
   Plan.set_enabled true;
@@ -29,6 +31,7 @@ let with_plans f =
   Fun.protect
     ~finally:(fun () ->
       Plan.wipe ();
+      rmdir_if_empty test_dir;
       Plan.set_enabled false;
       Plan.set_dir (Filename.concat "_tagsim_cache" "plan"))
     f
